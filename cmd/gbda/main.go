@@ -1,0 +1,175 @@
+// Command gbda runs graph similarity searches over a .gsim text database.
+//
+// The database file holds one stanza per graph:
+//
+//	g caffeine 14
+//	v 0 C
+//	v 1 N
+//	e 0 1 single
+//	...
+//
+// The query file holds exactly one stanza in the same format.
+//
+// Usage:
+//
+//	gbda -db molecules.gsim -query q.gsim -tau 3 -gamma 0.9
+//	gbda -db molecules.gsim -query q.gsim -method lsap -tau 3
+//	gbda -db molecules.gsim -stats
+//
+// Methods: gbda (default), gbda-v1, gbda-v2, lsap, greedysort, seriation,
+// exact, hybrid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gsim"
+)
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "", "path to the .gsim database file (required)")
+		qPath   = flag.String("query", "", "path to the .gsim query file")
+		method  = flag.String("method", "gbda", "search method: gbda|gbda-v1|gbda-v2|lsap|greedysort|seriation|exact|hybrid")
+		tau     = flag.Int("tau", 3, "similarity threshold τ̂ (GED)")
+		gamma   = flag.Float64("gamma", 0.9, "probability threshold γ (GBDA family)")
+		tauMax  = flag.Int("tau-max", 10, "largest τ̂ the offline priors support")
+		pairs   = flag.Int("pairs", 20000, "sampled pairs for the GBD prior")
+		workers = flag.Int("workers", 0, "scan workers (0 = GOMAXPROCS)")
+		stats   = flag.Bool("stats", false, "print database statistics and exit")
+		topk    = flag.Int("topk", 0, "return the k most similar graphs instead of thresholding")
+		prefilt = flag.Bool("prefilter", false, "apply the admissible size/label/branch pre-filter")
+		binary  = flag.Bool("binary", false, "the -db file is a binary snapshot (see -save-binary)")
+		saveBin = flag.String("save-binary", "", "convert the loaded database to a binary snapshot and exit")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		fmt.Fprintln(os.Stderr, "gbda: -db is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	d := gsim.NewDatabase(*dbPath)
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		fail(err)
+	}
+	if *binary {
+		err = d.LoadBinary(f)
+	} else {
+		_, err = d.LoadText(f)
+	}
+	f.Close()
+	if err != nil {
+		fail(fmt.Errorf("loading %s: %w", *dbPath, err))
+	}
+	if *saveBin != "" {
+		out, err := os.Create(*saveBin)
+		if err != nil {
+			fail(err)
+		}
+		defer out.Close()
+		if err := d.SaveBinary(out); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "gbda: wrote binary snapshot of %d graphs to %s\n", d.Len(), *saveBin)
+		return
+	}
+	if *stats {
+		fmt.Printf("%s: %d graphs, %v\n", *dbPath, d.Len(), d.Stats())
+		return
+	}
+	if *qPath == "" {
+		fmt.Fprintln(os.Stderr, "gbda: -query is required unless -stats")
+		os.Exit(2)
+	}
+
+	m, err := parseMethod(*method)
+	if err != nil {
+		fail(err)
+	}
+	if needsPriors(m) {
+		if *tau > *tauMax {
+			fail(fmt.Errorf("tau %d exceeds -tau-max %d", *tau, *tauMax))
+		}
+		fmt.Fprintf(os.Stderr, "gbda: fitting priors over %d sampled pairs...\n", *pairs)
+		if err := d.BuildPriors(gsim.OfflineConfig{TauMax: *tauMax, SamplePairs: *pairs}); err != nil {
+			fail(err)
+		}
+	}
+
+	qf, err := os.Open(*qPath)
+	if err != nil {
+		fail(err)
+	}
+	defer qf.Close()
+	q, err := d.LoadQueryText(qf)
+	if err != nil {
+		fail(fmt.Errorf("loading %s: %w", *qPath, err))
+	}
+
+	var res *gsim.Result
+	if *topk > 0 {
+		res, err = d.SearchTopK(q, gsim.TopKOptions{
+			Method:  m,
+			K:       *topk,
+			Tau:     *tau,
+			Workers: *workers,
+		})
+	} else {
+		res, err = d.Search(q, gsim.SearchOptions{
+			Method:    m,
+			Tau:       *tau,
+			Gamma:     *gamma,
+			Workers:   *workers,
+			Prefilter: *prefilt,
+		})
+	}
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("method=%v tau=%d gamma=%.2f scanned=%d elapsed=%v matches=%d\n",
+		res.Method, *tau, *gamma, res.Scanned, res.Elapsed, len(res.Matches))
+	for _, match := range res.Matches {
+		fmt.Printf("  %-24s score=%.4f\n", match.Name, match.Score)
+	}
+}
+
+func parseMethod(s string) (gsim.Method, error) {
+	switch strings.ToLower(s) {
+	case "gbda":
+		return gsim.GBDA, nil
+	case "gbda-v1", "v1":
+		return gsim.GBDAV1, nil
+	case "gbda-v2", "v2":
+		return gsim.GBDAV2, nil
+	case "lsap":
+		return gsim.LSAP, nil
+	case "greedysort", "greedy":
+		return gsim.GreedySort, nil
+	case "seriation":
+		return gsim.Seriation, nil
+	case "exact":
+		return gsim.Exact, nil
+	case "hybrid":
+		return gsim.Hybrid, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}
+
+func needsPriors(m gsim.Method) bool {
+	switch m {
+	case gsim.GBDA, gsim.GBDAV1, gsim.GBDAV2, gsim.Hybrid:
+		return true
+	}
+	return false
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gbda:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,306 @@
+package gsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"gsim/internal/branch"
+	"gsim/internal/core"
+	"gsim/internal/db"
+	"gsim/internal/graph"
+	"gsim/internal/index"
+)
+
+// Stats re-exports the collection statistics (the shape of Table III).
+type Stats = db.Stats
+
+// Database owns a graph collection plus the offline artifacts of the GBDA
+// search (Section VI): the GBD prior fitted on sampled pairs and the
+// per-size model/Jeffreys-prior cache. Build graphs with NewGraph, then
+// call BuildPriors once before any GBDA-family Search.
+type Database struct {
+	col    *db.Collection
+	active []int // collection indexes scanned by Search; nil = all
+
+	tauMax   int
+	ws       *core.Workspace
+	gbdPrior *core.GBDPrior
+
+	ixOnce sync.Once
+	ix     *index.Index
+}
+
+// prefilterIndex lazily builds the layered admissible filter index over the
+// whole collection. Graphs added after the first prefiltered search are not
+// visible to it; build databases fully before searching with Prefilter.
+func (d *Database) prefilterIndex() *index.Index {
+	d.ixOnce.Do(func() { d.ix = index.Build(d.col) })
+	return d.ix
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{col: db.New(name)}
+}
+
+// FromCollection wraps an existing internal collection — the bridge used by
+// the experiment harness and dataset generators, which assemble collections
+// directly. active lists the collection indexes Search scans (the "95%
+// database" of Section VII-A); nil scans everything. External users build
+// databases with NewDatabase/NewGraph instead.
+func FromCollection(col *db.Collection, active []int) *Database {
+	return &Database{col: col, active: active}
+}
+
+// Len reports the number of stored graphs (including any not in the active
+// scan subset).
+func (d *Database) Len() int { return d.col.Len() }
+
+// ActiveLen reports how many graphs Search scans.
+func (d *Database) ActiveLen() int {
+	if d.active == nil {
+		return d.col.Len()
+	}
+	return len(d.active)
+}
+
+// Stats summarises the stored graphs.
+func (d *Database) Stats() Stats { return d.col.Stats() }
+
+// Name returns the database name.
+func (d *Database) Name() string { return d.col.Name }
+
+// LoadText bulk-loads graphs in .gsim text form (see internal/graph codec:
+// "g <name> <n>" header, "v <i> <label>" and "e <u> <v> <label>" records).
+func (d *Database) LoadText(r io.Reader) (int, error) {
+	gs, err := graph.ReadAll(r, d.col.Dict)
+	if err != nil {
+		return 0, err
+	}
+	for _, g := range gs {
+		d.col.Add(g)
+	}
+	return len(gs), nil
+}
+
+// SaveText writes every stored graph in .gsim text form.
+func (d *Database) SaveText(w io.Writer) error { return d.col.Save(w) }
+
+// SaveBinary writes a fast gob snapshot of the stored graphs.
+func (d *Database) SaveBinary(w io.Writer) error { return d.col.SaveBinary(w) }
+
+// LoadBinary replaces the database contents with a snapshot written by
+// SaveBinary, resetting any fitted priors and the active scan subset.
+func (d *Database) LoadBinary(r io.Reader) error {
+	col, err := db.LoadBinary(r)
+	if err != nil {
+		return err
+	}
+	d.col = col
+	d.active = nil
+	d.ws = nil
+	d.gbdPrior = nil
+	d.tauMax = 0
+	d.ixOnce = sync.Once{}
+	d.ix = nil
+	return nil
+}
+
+// LoadQueryText parses exactly one .gsim stanza against the database's
+// label dictionary and prepares it as a query.
+func (d *Database) LoadQueryText(r io.Reader) (*Query, error) {
+	gs, err := graph.ReadAll(r, d.col.Dict)
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) != 1 {
+		return nil, fmt.Errorf("gsim: query input holds %d graphs, want exactly 1", len(gs))
+	}
+	return &Query{g: gs[0], branches: branch.MultisetOf(gs[0])}, nil
+}
+
+// GraphBuilder constructs one labeled graph against the database's shared
+// label dictionary. Finish with Store (insert into the database) or Query
+// (use as a search query without storing).
+type GraphBuilder struct {
+	d *Database
+	g *graph.Graph
+}
+
+// NewGraph starts building a graph with the given name.
+func (d *Database) NewGraph(name string) *GraphBuilder {
+	g := graph.New(8)
+	g.Name = name
+	return &GraphBuilder{d: d, g: g}
+}
+
+// AddVertex appends a vertex with a string label and returns its index.
+func (b *GraphBuilder) AddVertex(label string) int {
+	return b.g.AddVertex(b.d.col.Dict.Intern(label))
+}
+
+// AddEdge inserts an undirected labeled edge between vertices u and v.
+func (b *GraphBuilder) AddEdge(u, v int, label string) error {
+	return b.g.AddEdge(u, v, b.d.col.Dict.Intern(label))
+}
+
+// AddDirectedEdge inserts the arc u→v, folding the direction into the edge
+// label as Section II of the paper prescribes ("considering edge directions
+// ... as special labels"). Opposite arcs with the same base label merge
+// into a bidirectional edge.
+func (b *GraphBuilder) AddDirectedEdge(u, v int, base string) error {
+	return graph.AddDirectedEdge(b.g, b.d.col.Dict, u, v, base)
+}
+
+// WeightBuckets re-exports the weight-folding quantiser: edge weights are
+// discretised into labeled buckets so the label-equality model of the paper
+// applies to weighted graphs.
+type WeightBuckets = graph.WeightBuckets
+
+// AddWeightedEdge inserts {u,v} with the weight folded to a bucket label.
+func (b *GraphBuilder) AddWeightedEdge(u, v int, weight float64, wb WeightBuckets) error {
+	return graph.AddWeightedEdge(b.g, b.d.col.Dict, wb, u, v, weight)
+}
+
+// Store validates the graph, inserts it into the database, and returns its
+// collection index.
+func (b *GraphBuilder) Store() (int, error) {
+	if err := b.g.Validate(); err != nil {
+		return 0, err
+	}
+	b.d.col.Add(b.g)
+	return b.d.col.Len() - 1, nil
+}
+
+// Query finalises the graph as a search query (precomputing its branch
+// multiset) without storing it.
+func (b *GraphBuilder) Query() *Query {
+	return &Query{g: b.g, branches: branch.MultisetOf(b.g)}
+}
+
+// Query is a prepared query graph.
+type Query struct {
+	g        *graph.Graph
+	branches branch.Multiset
+}
+
+// NumVertices reports the query's vertex count.
+func (q *Query) NumVertices() int { return q.g.NumVertices() }
+
+// Name returns the query graph's name.
+func (q *Query) Name() string { return q.g.Name }
+
+// Query prepares the stored graph at collection index i as a query — used
+// when the query workload is drawn from the same population as the database
+// (the paper's 5% split).
+func (d *Database) Query(i int) *Query {
+	e := d.col.Entry(i)
+	return &Query{g: e.G, branches: e.Branches}
+}
+
+// OfflineConfig tunes BuildPriors, the offline stage of Algorithm 1.
+type OfflineConfig struct {
+	// TauMax is the largest similarity threshold τ̂ the model supports
+	// (default 10, the common range of Section VII-A).
+	TauMax int
+	// SamplePairs is the number of graph pairs sampled for the GBD prior
+	// (the paper uses N = 100,000; default 20,000).
+	SamplePairs int
+	// Components is the GMM component count K (default 3).
+	Components int
+	// Seed drives the deterministic pair sampling.
+	Seed int64
+}
+
+// ErrNoPriors is returned by GBDA-family searches before BuildPriors.
+var ErrNoPriors = errors.New("gsim: BuildPriors must run before GBDA search")
+
+// BuildPriors runs the offline stage: it samples graph pairs, computes
+// their GBDs, fits the Gaussian-mixture GBD prior (Λ2, Section V-B) and
+// prepares the model workspace whose per-size Jeffreys priors (Λ3,
+// Section V-C) are filled lazily as sizes are encountered.
+func (d *Database) BuildPriors(cfg OfflineConfig) error {
+	if d.col.Len() < 2 {
+		return errors.New("gsim: need at least two graphs to fit priors")
+	}
+	if cfg.TauMax <= 0 {
+		cfg.TauMax = 10
+	}
+	if cfg.SamplePairs <= 0 {
+		cfg.SamplePairs = 20000
+	}
+	if cfg.Components <= 0 {
+		cfg.Components = 3
+	}
+	samples := d.col.SamplePairGBDs(cfg.SamplePairs, cfg.Seed)
+	prior, err := core.FitGBDPrior(samples, cfg.Components)
+	if err != nil {
+		return fmt.Errorf("gsim: fitting GBD prior: %w", err)
+	}
+	s := d.col.Stats()
+	d.gbdPrior = prior
+	d.tauMax = cfg.TauMax
+	d.ws = core.NewWorkspace(core.Params{LV: s.LV, LE: s.LE, TauMax: cfg.TauMax})
+	return nil
+}
+
+// HasPriors reports whether the offline stage has run.
+func (d *Database) HasPriors() bool { return d.ws != nil }
+
+// TauMax returns the threshold ceiling the priors were built for (0 before
+// BuildPriors).
+func (d *Database) TauMax() int { return d.tauMax }
+
+// GBDPriorProb exposes Pr[GBD = ϕ] from the fitted prior, for diagnostics
+// and the Figure 5 experiment.
+func (d *Database) GBDPriorProb(phi float64) (float64, error) {
+	if d.gbdPrior == nil {
+		return 0, ErrNoPriors
+	}
+	return d.gbdPrior.Prob(phi), nil
+}
+
+// GEDPriorRow exposes the Jeffreys prior Pr[GED = τ] for extended size v,
+// for diagnostics and the Figure 6 experiment.
+func (d *Database) GEDPriorRow(v int) ([]float64, error) {
+	if d.ws == nil {
+		return nil, ErrNoPriors
+	}
+	return d.ws.Model(v).GEDPrior(), nil
+}
+
+// avgActiveSize returns the rounded average vertex count over a sample of
+// alpha active graphs — the |V'1| surrogate of the GBDA-V1 variant.
+func (d *Database) avgActiveSize(alpha int, seed int64) int {
+	idx := d.activeIndexes()
+	if len(idx) == 0 {
+		return 1
+	}
+	if alpha <= 0 || alpha > len(idx) {
+		alpha = len(idx)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum int
+	for i := 0; i < alpha; i++ {
+		sum += d.col.Graph(idx[rng.Intn(len(idx))]).NumVertices()
+	}
+	v := (sum + alpha/2) / alpha
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (d *Database) activeIndexes() []int {
+	if d.active != nil {
+		return d.active
+	}
+	idx := make([]int, d.col.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,0 +1,59 @@
+// Bigsearch: the scalability story of the paper's Figures 8-9. Databases of
+// increasingly large scale-free graphs (the protein-network regime from the
+// introduction, where exact GED is hopeless) are searched with GBDA and
+// with the quadratic baselines, showing GBDA's near-flat per-query latency
+// while the baselines grow superlinearly and eventually trip their
+// resource guard.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"gsim"
+	"gsim/internal/dataset"
+)
+
+func main() {
+	sizes := []int{500, 1000, 2000}
+	fmt.Printf("%8s  %14s  %14s  %14s\n", "size", "GBDA(τ̂=10)", "greedysort", "seriation")
+
+	for i, size := range sizes {
+		cfg, err := dataset.SynSubset("syn1", size, 10, int64(300+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := gsim.FromCollection(ds.Col, ds.DBGraphs)
+		if err := d.BuildPriors(gsim.OfflineConfig{TauMax: 10, SamplePairs: 2000}); err != nil {
+			log.Fatal(err)
+		}
+		q := d.Query(ds.Queries[0])
+
+		cells := make([]string, 0, 3)
+		for _, opt := range []gsim.SearchOptions{
+			{Method: gsim.GBDA, Tau: 10, Gamma: 0.8},
+			{Method: gsim.GreedySort, Tau: 10, BaselineMaxVertices: 1500},
+			{Method: gsim.Seriation, Tau: 10, BaselineMaxVertices: 1500},
+		} {
+			t0 := time.Now()
+			_, err := d.Search(q, opt)
+			switch {
+			case errors.Is(err, gsim.ErrTooLarge):
+				cells = append(cells, "OOM-guard")
+			case err != nil:
+				log.Fatal(err)
+			default:
+				cells = append(cells, time.Since(t0).Round(time.Microsecond).String())
+			}
+		}
+		fmt.Printf("%8d  %14s  %14s  %14s\n", size, cells[0], cells[1], cells[2])
+	}
+	fmt.Println("\nGBDA's per-pair cost is O(n·d + τ̂³); the baselines build O(n²)")
+	fmt.Println("state per pair, which is the wall the paper hits at 20K vertices.")
+}

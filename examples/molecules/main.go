@@ -1,0 +1,154 @@
+// Molecules: the chemical-compound screening scenario from the paper's
+// introduction. A library of ring-and-tail compounds is searched for
+// analogues of a query scaffold, comparing every method the paper
+// evaluates: GBDA (three γ values), the LSAP lower-bound filter,
+// Greedy-Sort-GED, spectral seriation, and exact A* as ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"gsim"
+)
+
+// compound grows a 6-ring with decorated tails; mutations relabel tail
+// atoms and bonds so the library contains both close analogues and
+// unrelated scaffolds.
+func compound(d *gsim.Database, name string, rng *rand.Rand, mutations int) {
+	b := d.NewGraph(name)
+	atoms := []string{"C", "C", "C", "N", "C", "C"}
+	ring := make([]int, len(atoms))
+	for i, a := range atoms {
+		ring[i] = b.AddVertex(a)
+	}
+	for i := range ring {
+		must(b.AddEdge(ring[i], ring[(i+1)%len(ring)], "aromatic"))
+	}
+	// Tails: an O on ring position 0, a C-C on position 3.
+	o := b.AddVertex("O")
+	must(b.AddEdge(ring[0], o, "double"))
+	t1 := b.AddVertex("C")
+	t2 := b.AddVertex("C")
+	must(b.AddEdge(ring[3], t1, "single"))
+	must(b.AddEdge(t1, t2, "single"))
+
+	// Apply mutations: tail-atom or tail-bond relabels.
+	tailAtoms := []int{o, t1, t2}
+	alts := []string{"O", "N", "S", "Cl", "F"}
+	for i := 0; i < mutations; i++ {
+		if rng.Intn(2) == 0 {
+			// Relabel a tail atom. The builder has no relabel call —
+			// mutation is expressed by choosing the label up front in
+			// real code; here we simply add a decorated halogen.
+			h := b.AddVertex(alts[rng.Intn(len(alts))])
+			must(b.AddEdge(tailAtoms[rng.Intn(len(tailAtoms))], h, "single"))
+		} else {
+			h := b.AddVertex("H")
+			must(b.AddEdge(ring[rng.Intn(len(ring))], h, "single"))
+		}
+	}
+	if _, err := b.Store(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	d := gsim.NewDatabase("compound-library")
+	rng := rand.New(rand.NewSource(42))
+
+	// 30 analogues of the scaffold at increasing mutation depth, plus 20
+	// unrelated chains.
+	for i := 0; i < 30; i++ {
+		compound(d, fmt.Sprintf("analog-%02d", i), rng, i%5)
+	}
+	for i := 0; i < 20; i++ {
+		b := d.NewGraph(fmt.Sprintf("chain-%02d", i))
+		prev := b.AddVertex("P")
+		for j := 0; j < 8+rng.Intn(6); j++ {
+			nxt := b.AddVertex([]string{"P", "S", "Si"}[rng.Intn(3)])
+			must(b.AddEdge(prev, nxt, "ionic"))
+			prev = nxt
+		}
+		if _, err := b.Store(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := d.BuildPriors(gsim.OfflineConfig{TauMax: 6, SamplePairs: 5000}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The query is the clean scaffold (mutations = 0).
+	qb := d.NewGraph("scaffold-query")
+	compoundInto(qb)
+	q := qb.Query()
+
+	const tau = 4
+	exact, err := d.Search(q, gsim.SearchOptions{Method: gsim.Exact, Tau: tau})
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := map[int]bool{}
+	for _, m := range exact.Matches {
+		truth[m.Index] = true
+	}
+	fmt.Printf("library: %d compounds; query: scaffold; τ̂ = %d; |truth| = %d\n\n",
+		d.Len(), tau, len(truth))
+	fmt.Printf("%-22s %8s %8s %9s %9s\n", "method", "matches", "correct", "precision", "recall")
+
+	report := func(label string, opt gsim.SearchOptions) {
+		opt.Tau = tau
+		res, err := d.Search(q, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		correct := 0
+		for _, m := range res.Matches {
+			if truth[m.Index] {
+				correct++
+			}
+		}
+		prec, rec := 1.0, 1.0
+		if len(res.Matches) > 0 {
+			prec = float64(correct) / float64(len(res.Matches))
+		}
+		if len(truth) > 0 {
+			rec = float64(correct) / float64(len(truth))
+		}
+		fmt.Printf("%-22s %8d %8d %9.3f %9.3f\n", label, len(res.Matches), correct, prec, rec)
+	}
+	report("GBDA(γ=0.7)", gsim.SearchOptions{Method: gsim.GBDA, Gamma: 0.7})
+	report("GBDA(γ=0.8)", gsim.SearchOptions{Method: gsim.GBDA, Gamma: 0.8})
+	report("GBDA(γ=0.9)", gsim.SearchOptions{Method: gsim.GBDA, Gamma: 0.9})
+	report("LSAP (lower bound)", gsim.SearchOptions{Method: gsim.LSAP})
+	report("Greedy-Sort-GED", gsim.SearchOptions{Method: gsim.GreedySort})
+	report("seriation", gsim.SearchOptions{Method: gsim.Seriation})
+	report("hybrid (GBDA+A*)", gsim.SearchOptions{Method: gsim.Hybrid, Gamma: 0.7, HybridVerifyMax: 24})
+}
+
+// compoundInto rebuilds the clean scaffold on an existing builder (the
+// query is not stored in the library).
+func compoundInto(b *gsim.GraphBuilder) {
+	atoms := []string{"C", "C", "C", "N", "C", "C"}
+	ring := make([]int, len(atoms))
+	for i, a := range atoms {
+		ring[i] = b.AddVertex(a)
+	}
+	for i := range ring {
+		must(b.AddEdge(ring[i], ring[(i+1)%len(ring)], "aromatic"))
+	}
+	o := b.AddVertex("O")
+	must(b.AddEdge(ring[0], o, "double"))
+	t1 := b.AddVertex("C")
+	t2 := b.AddVertex("C")
+	must(b.AddEdge(ring[3], t1, "single"))
+	must(b.AddEdge(t1, t2, "single"))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

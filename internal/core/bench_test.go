@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkNewModelBySize(b *testing.B) {
+	for _, v := range []int{100, 10000, 100000} {
+		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = NewModel(v, Params{LV: 20, LE: 6, TauMax: 10})
+			}
+		})
+	}
+}
+
+func BenchmarkNewModelByTau(b *testing.B) {
+	for _, tau := range []int{10, 20, 30} {
+		b.Run(fmt.Sprintf("tau=%d", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = NewModel(1000, Params{LV: 20, LE: 6, TauMax: tau})
+			}
+		})
+	}
+}
+
+func BenchmarkLambda1AllWarm(b *testing.B) {
+	m := NewModel(1000, Params{LV: 20, LE: 6, TauMax: 10})
+	for phi := 0; phi <= 30; phi++ {
+		_ = m.Lambda1All(phi) // warm the inner caches
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Lambda1All(i % 30)
+	}
+}
+
+func BenchmarkGEDPriorBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := NewModel(500, Params{LV: 20, LE: 6, TauMax: 10})
+		_ = m.GEDPrior()
+	}
+}
+
+func BenchmarkPosteriorWarm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = float64(rng.Intn(30))
+	}
+	prior, err := FitGBDPrior(samples, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := NewSearcher(NewWorkspace(Params{LV: 20, LE: 6, TauMax: 10}), prior)
+	_ = s.Posterior(500, 5) // build the size-500 model once
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.PosteriorTau(500, i%30, 10)
+	}
+}

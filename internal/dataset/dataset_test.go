@@ -1,0 +1,372 @@
+package dataset
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"gsim/internal/branch"
+	"gsim/internal/ged"
+	"gsim/internal/graph"
+)
+
+// tinyConfig produces clusters of graphs small enough for exact A* GED.
+func tinyConfig(seed int64) Config {
+	return Config{
+		Name: "tiny", NumGraphs: 24, QueryFraction: 0.1,
+		MinV: 7, MaxV: 9, ExtraPerV: 0.2, ScaleFree: true,
+		LV: 24, LE: 3, PoolSize: 5, ClusterSize: 6, ModSlots: 3,
+		GuardTau: 4, Seed: seed,
+	}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	ds, err := Generate(tinyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Col.Len() != 24 {
+		t.Fatalf("generated %d graphs, want 24", ds.Col.Len())
+	}
+	if len(ds.ClusterOf) != 24 || len(ds.slots) != 24 {
+		t.Fatal("metadata length mismatch")
+	}
+	if len(ds.Queries)+len(ds.DBGraphs) != 24 {
+		t.Fatal("query/db split does not partition the collection")
+	}
+	if len(ds.Queries) < 1 {
+		t.Fatal("no query graphs selected")
+	}
+	for i := 0; i < ds.Col.Len(); i++ {
+		if err := ds.Col.Graph(i).Validate(); err != nil {
+			t.Fatalf("graph %d invalid: %v", i, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(tinyConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(tinyConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Col.Len() != b.Col.Len() {
+		t.Fatal("non-deterministic graph count")
+	}
+	for i := 0; i < a.Col.Len(); i++ {
+		if d := branch.GBD(a.Col.Entry(i).Branches, b.Col.Entry(i).Branches); d != 0 {
+			t.Fatalf("graph %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestKnownGEDSymmetricAndZeroOnSelf(t *testing.T) {
+	ds, err := Generate(tinyConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ds.Col.Len(); i++ {
+		if d, known := ds.KnownGED(i, i); !known || d != 0 {
+			t.Fatalf("KnownGED(%d,%d) = %d,%v", i, i, d, known)
+		}
+		for j := i + 1; j < ds.Col.Len(); j++ {
+			di, ki := ds.KnownGED(i, j)
+			dj, kj := ds.KnownGED(j, i)
+			if ki != kj || di != dj {
+				t.Fatalf("KnownGED asymmetric at (%d,%d)", i, j)
+			}
+			if ki && di > len(ds.slots[i]) {
+				t.Fatalf("slot distance %d exceeds slot count", di)
+			}
+		}
+	}
+}
+
+// TestKnownGEDMatchesAStar is the load-bearing validation of the Appendix I
+// construction: on clusters small enough for exact search, the slot-count
+// distance must equal the true GED for every intra-cluster pair.
+func TestKnownGEDMatchesAStar(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		ds, err := Generate(tinyConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := 0
+		for i := 0; i < ds.Col.Len() && pairs < 60; i++ {
+			for j := i + 1; j < ds.Col.Len() && pairs < 60; j++ {
+				want, known := ds.KnownGED(i, j)
+				if !known {
+					continue
+				}
+				got, err := ged.Exact(ds.Col.Graph(i), ds.Col.Graph(j))
+				if err != nil {
+					t.Fatalf("A* failed on (%d,%d): %v", i, j, err)
+				}
+				if got != want {
+					t.Fatalf("seed %d pair (%d,%d): KnownGED %d, A* %d\n%v\n%v",
+						seed, i, j, want, got, ds.Col.Graph(i), ds.Col.Graph(j))
+				}
+				pairs++
+			}
+		}
+		if pairs == 0 {
+			t.Fatal("no intra-cluster pairs exercised")
+		}
+	}
+}
+
+// TestInterClusterGuard verifies the certified lower bound: for every
+// cross-cluster pair, the vertex-label histogram bound (a true GED lower
+// bound) must exceed GuardTau.
+func TestInterClusterGuard(t *testing.T) {
+	ds, err := Generate(tinyConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type meta struct {
+		hist map[graph.ID]int
+		n    int
+	}
+	ms := make([]meta, ds.Col.Len())
+	for i := range ms {
+		g := ds.Col.Graph(i)
+		ms[i] = meta{hist: labelHistogram(g), n: g.NumVertices()}
+	}
+	for i := 0; i < ds.Col.Len(); i++ {
+		for j := i + 1; j < ds.Col.Len(); j++ {
+			if ds.ClusterOf[i] == ds.ClusterOf[j] {
+				continue
+			}
+			lb := histogramLB(ms[i].hist, ms[i].n, ms[j].hist, ms[j].n)
+			if lb <= ds.GuardTau {
+				t.Fatalf("cross pair (%d,%d): label LB %d ≤ guard %d", i, j, lb, ds.GuardTau)
+			}
+		}
+	}
+}
+
+func TestWithinTauAndTruthSet(t *testing.T) {
+	ds, err := Generate(tinyConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ds.Queries[0]
+	truth := ds.TruthSet(q, 2)
+	for _, i := range truth {
+		d, known := ds.KnownGED(q, i)
+		if !known || d > 2 {
+			t.Fatalf("truth set contains (%d) with d=%d known=%v", i, d, known)
+		}
+	}
+	// Monotonicity in tau.
+	if len(ds.TruthSet(q, 0)) > len(ds.TruthSet(q, 3)) {
+		t.Fatal("truth set shrank as tau grew")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithinTau beyond GuardTau must panic")
+		}
+	}()
+	ds.WithinTau(0, 1, ds.GuardTau+1)
+}
+
+func TestProfilesMatchTableIII(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		maxV      int
+		dLo, dHi  float64
+		scaleFree bool
+	}{
+		{"aids", 95, 1.6, 2.7, true},
+		{"finger", 26, 1.2, 2.3, true},
+		{"grec", 24, 1.6, 2.8, true},
+	} {
+		cfg, err := Profile(tc.name, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		s := ds.Col.Stats()
+		if s.MaxV > tc.maxV {
+			t.Errorf("%s: Vm = %d exceeds Table III %d", tc.name, s.MaxV, tc.maxV)
+		}
+		if s.AvgDegree < tc.dLo || s.AvgDegree > tc.dHi {
+			t.Errorf("%s: avg degree %.2f outside [%.1f, %.1f]", tc.name, s.AvgDegree, tc.dLo, tc.dHi)
+		}
+		if s.Graphs < 40 {
+			t.Errorf("%s: only %d graphs", tc.name, s.Graphs)
+		}
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if _, err := Profile("nope", 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+	if _, err := Profile("aids", 0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := Profile("aids", 1.5); err == nil {
+		t.Fatal("overscale accepted")
+	}
+}
+
+func TestSynSubset(t *testing.T) {
+	cfg, err := SynSubset("syn1", 2000, 12, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.MinV != 2000 || cfg.MaxV != 2000 || cfg.NumGraphs != 12 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ds.Col.Stats()
+	if s.MaxV != 2000 {
+		t.Fatalf("Vm = %d", s.MaxV)
+	}
+	// Table III: d ≈ 9.6 for Syn-1.
+	if s.AvgDegree < 8 || s.AvgDegree > 11.5 {
+		t.Fatalf("avg degree %.2f far from 9.6", s.AvgDegree)
+	}
+	// Known-GED range must reach deep thresholds: at least one pair with
+	// distance over 10.
+	found := false
+	for i := 0; i < ds.Col.Len() && !found; i++ {
+		for j := i + 1; j < ds.Col.Len() && !found; j++ {
+			if d, known := ds.KnownGED(i, j); known && d > 10 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no intra-cluster pair with GED > 10; ModSlots boost failed")
+	}
+}
+
+// TestScaleFreeDegreeShape checks the structural difference between the
+// Syn-1 and Syn-2 generators: preferential attachment grows hubs far above
+// the mean degree, uniform wiring does not (Appendix I / Theorem 5).
+func TestScaleFreeDegreeShape(t *testing.T) {
+	sf, err := Generate(Config{
+		Name: "sf", NumGraphs: 2, MinV: 1500, MaxV: 1500, ExtraPerV: 2,
+		ScaleFree: true, LV: 10, LE: 3, ClusterSize: 2, ModSlots: 2, GuardTau: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := Generate(Config{
+		Name: "un", NumGraphs: 2, MinV: 1500, MaxV: 1500, ExtraPerV: 2,
+		ScaleFree: false, LV: 10, LE: 3, ClusterSize: 2, ModSlots: 2, GuardTau: 2, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(ds *Dataset) float64 {
+		g := ds.Col.Graph(0)
+		maxDeg := 0
+		for v := 0; v < g.NumVertices(); v++ {
+			if g.Degree(v) > maxDeg {
+				maxDeg = g.Degree(v)
+			}
+		}
+		return float64(maxDeg) / g.AvgDegree()
+	}
+	rs, ru := ratio(sf), ratio(un)
+	if rs < 1.5*ru {
+		t.Fatalf("scale-free hub ratio %.1f not clearly above uniform %.1f", rs, ru)
+	}
+}
+
+// TestTheorem5AverageDegree: the scale-free generator's average degree must
+// grow no faster than O(log n) across sizes (Theorem 5 / Appendix K).
+func TestTheorem5AverageDegree(t *testing.T) {
+	var prev float64
+	for _, n := range []int{500, 1000, 2000, 4000} {
+		ds, err := Generate(Config{
+			Name: "t5", NumGraphs: 1, MinV: n, MaxV: n, ExtraPerV: 2,
+			ScaleFree: true, LV: 10, LE: 3, ClusterSize: 1, ModSlots: 2, GuardTau: 2, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := ds.Col.Graph(0).AvgDegree()
+		if d > 4*math.Log(float64(n)) {
+			t.Fatalf("n=%d: avg degree %.2f breaks the O(log n) envelope", n, d)
+		}
+		if prev > 0 && d > prev*1.5 {
+			t.Fatalf("avg degree jumped %.2f → %.2f between sizes", prev, d)
+		}
+		prev = d
+	}
+}
+
+func TestVariantZeroIsTemplate(t *testing.T) {
+	ds, err := Generate(tinyConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within each cluster, variant 0 carries the unmodified slot vector;
+	// all slot vectors have equal length inside a cluster.
+	byCluster := map[int][]int{}
+	for i, c := range ds.ClusterOf {
+		byCluster[c] = append(byCluster[c], i)
+	}
+	for c, members := range byCluster {
+		for _, i := range members[1:] {
+			if len(ds.slots[i]) != len(ds.slots[members[0]]) {
+				t.Fatalf("cluster %d: ragged slot vectors", c)
+			}
+		}
+	}
+}
+
+func TestWriteTruth(t *testing.T) {
+	ds, err := Generate(tinyConfig(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteTruth(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.HasPrefix(lines[0], "# pairs with known GED") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	// Every data line must parse and agree with KnownGED.
+	count := 0
+	for _, ln := range lines[1:] {
+		var i, j, d int
+		if _, err := fmt.Sscanf(ln, "%d %d %d", &i, &j, &d); err != nil {
+			t.Fatalf("bad line %q: %v", ln, err)
+		}
+		got, known := ds.KnownGED(i, j)
+		if !known || got != d {
+			t.Fatalf("line %q disagrees with KnownGED (%d, %v)", ln, got, known)
+		}
+		count++
+	}
+	// All intra-cluster pairs must be listed.
+	want := 0
+	for i := 0; i < ds.Col.Len(); i++ {
+		for j := i + 1; j < ds.Col.Len(); j++ {
+			if _, known := ds.KnownGED(i, j); known {
+				want++
+			}
+		}
+	}
+	if count != want {
+		t.Fatalf("truth lists %d pairs, want %d", count, want)
+	}
+}

@@ -1,0 +1,36 @@
+package db
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkSamplePairGBDs(b *testing.B) {
+	c := testCollection(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.SamplePairGBDs(5000, int64(i))
+	}
+}
+
+func BenchmarkScanParallel(b *testing.B) {
+	c := testCollection(b, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		c.Scan(0, func(_ int, e *Entry) {
+			atomic.AddInt64(&n, int64(len(e.Branches)))
+		})
+	}
+}
+
+func BenchmarkAddWithIndex(b *testing.B) {
+	src := testCollection(b, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := New("bench")
+		for j := 0; j < src.Len(); j++ {
+			c.Add(src.Graph(j))
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package db implements the graph database D of the problem statement: a
+// collection of labeled graphs sharing one label dictionary, with the
+// auxiliary structures the paper assumes are "pre-computed and stored with
+// graphs" (Section III) — most importantly the sorted branch multiset of
+// every graph — plus persistence, deterministic pair sampling for the
+// offline prior stage, and a parallel scan executor used by every searcher.
+package db
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"gsim/internal/branch"
+	"gsim/internal/graph"
+)
+
+// Entry is one stored graph together with its precomputed branch index.
+type Entry struct {
+	G        *graph.Graph
+	Branches branch.Multiset
+}
+
+// Collection is an in-memory graph database. All graphs intern their labels
+// through the collection's shared dictionary, so label IDs are comparable
+// across graphs. Adding graphs is not safe for concurrent use; reading and
+// scanning are.
+type Collection struct {
+	Name    string
+	Dict    *graph.Labels
+	entries []*Entry
+
+	vLabels map[graph.ID]struct{} // distinct non-ε vertex labels seen
+	eLabels map[graph.ID]struct{} // distinct non-ε edge labels seen
+	maxV    int
+	maxE    int
+	sumDeg  float64
+}
+
+// New returns an empty collection with a fresh label dictionary.
+func New(name string) *Collection {
+	return &Collection{
+		Name:    name,
+		Dict:    graph.NewLabels(),
+		vLabels: make(map[graph.ID]struct{}),
+		eLabels: make(map[graph.ID]struct{}),
+	}
+}
+
+// Add stores g, computing and retaining its branch multiset and updating
+// the collection statistics. The graph must have been built against the
+// collection's dictionary.
+func (c *Collection) Add(g *graph.Graph) *Entry {
+	e := &Entry{G: g, Branches: branch.MultisetOf(g)}
+	c.entries = append(c.entries, e)
+	if g.NumVertices() > c.maxV {
+		c.maxV = g.NumVertices()
+	}
+	if g.NumEdges() > c.maxE {
+		c.maxE = g.NumEdges()
+	}
+	c.sumDeg += g.AvgDegree()
+	for v := 0; v < g.NumVertices(); v++ {
+		if l := g.VertexLabel(v); l != graph.Epsilon {
+			c.vLabels[l] = struct{}{}
+		}
+	}
+	for _, ed := range g.Edges() {
+		if ed.Label != graph.Epsilon {
+			c.eLabels[ed.Label] = struct{}{}
+		}
+	}
+	return e
+}
+
+// Len reports the number of stored graphs.
+func (c *Collection) Len() int { return len(c.entries) }
+
+// Entry returns the i-th stored entry.
+func (c *Collection) Entry(i int) *Entry { return c.entries[i] }
+
+// Graph returns the i-th stored graph.
+func (c *Collection) Graph(i int) *graph.Graph { return c.entries[i].G }
+
+// Stats summarises the collection in the shape of the paper's Table III.
+type Stats struct {
+	Graphs    int     // |D|
+	MaxV      int     // Vm
+	MaxE      int     // Em
+	AvgDegree float64 // d, averaged over graphs
+	LV        int     // distinct vertex labels
+	LE        int     // distinct edge labels
+}
+
+// Stats returns the running statistics in O(1).
+func (c *Collection) Stats() Stats {
+	s := Stats{
+		Graphs: len(c.entries),
+		MaxV:   c.maxV,
+		MaxE:   c.maxE,
+		LV:     len(c.vLabels),
+		LE:     len(c.eLabels),
+	}
+	if len(c.entries) > 0 {
+		s.AvgDegree = c.sumDeg / float64(len(c.entries))
+	}
+	return s
+}
+
+// String renders a Table III row.
+func (s Stats) String() string {
+	return fmt.Sprintf("|D|=%d Vm=%d Em=%d d=%.1f |LV|=%d |LE|=%d",
+		s.Graphs, s.MaxV, s.MaxE, s.AvgDegree, s.LV, s.LE)
+}
+
+// SamplePairGBDs implements Steps 1.1–1.2 of the offline stage
+// (Section VI-C): it draws n graph pairs uniformly (deterministically for a
+// given seed) and returns the GBD of each, computed from the precomputed
+// branch indexes. Pairs are drawn with replacement across pairs but with
+// distinct members inside one pair.
+func (c *Collection) SamplePairGBDs(n int, seed int64) []float64 {
+	if len(c.entries) < 2 || n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	type pair struct{ a, b int32 }
+	pairs := make([]pair, n)
+	for i := range pairs {
+		a := rng.Intn(len(c.entries))
+		b := rng.Intn(len(c.entries) - 1)
+		if b >= a {
+			b++
+		}
+		pairs[i] = pair{int32(a), int32(b)}
+	}
+	out := make([]float64, n)
+	c.parallel(n, func(i int) {
+		p := pairs[i]
+		out[i] = float64(branch.GBD(c.entries[p.a].Branches, c.entries[p.b].Branches))
+	})
+	return out
+}
+
+// Scan applies fn to every entry index using a worker pool (workers ≤ 0
+// selects GOMAXPROCS). fn must be safe for concurrent invocation.
+func (c *Collection) Scan(workers int, fn func(i int, e *Entry)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(c.entries)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i, e := range c.entries {
+			fn(i, e)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	const chunk = 16
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				lo := int(next)
+				next += chunk
+				mu.Unlock()
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i, c.entries[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (c *Collection) parallel(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	per := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Save writes the collection in .gsim text form.
+func (c *Collection) Save(w io.Writer) error {
+	gs := make([]*graph.Graph, len(c.entries))
+	for i, e := range c.entries {
+		gs[i] = e.G
+	}
+	return graph.WriteAll(w, gs, c.Dict)
+}
+
+// Load reads graphs in .gsim text form into a fresh collection, recomputing
+// branch indexes.
+func Load(name string, r io.Reader) (*Collection, error) {
+	c := New(name)
+	gs, err := graph.ReadAll(r, c.Dict)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range gs {
+		c.Add(g)
+	}
+	return c, nil
+}

@@ -1,0 +1,95 @@
+package ged
+
+import (
+	"math/rand"
+	"testing"
+
+	"gsim/internal/graph"
+)
+
+func BenchmarkAStarExactBySize(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{5, 7, 9} {
+		a := randomGraph(rng, dict, n)
+		c := applyRandomEdits(rng, dict, a, 3)
+		b.Run("n="+string(rune('0'+n)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Exact(a, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAStarLimited(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(2))
+	a := randomGraph(rng, dict, 9)
+	c := randomGraph(rng, dict, 9) // dissimilar pair
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Compute(a, c, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("limit=3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Compute(a, c, Options{Limit: 3}); err != nil && err != ErrOverLimit {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkBeamSearch(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(3))
+	a := randomGraph(rng, dict, 10)
+	c := applyRandomEdits(rng, dict, a, 4)
+	for _, beam := range []int{2, 8} {
+		name := "beam=2"
+		if beam == 8 {
+			name = "beam=8"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compute(a, c, Options{Beam: beam}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAssignmentCost(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(4))
+	a := randomGraph(rng, dict, 40)
+	c := randomGraph(rng, dict, 40)
+	phi := rng.Perm(40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AssignmentCost(a, c, phi)
+	}
+}
+
+func BenchmarkScriptExtractAndApply(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(5))
+	a := randomGraph(rng, dict, 7)
+	c := applyRandomEdits(rng, dict, a, 3)
+	r, err := Compute(a, c, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		script := Script(a, c, r.Mapping)
+		if _, err := Apply(a, c, r.Mapping, script); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package ged
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gsim/internal/graph"
+)
+
+func TestScriptPaperExample1(t *testing.T) {
+	// Example 1: GED(G1,G2) = 3 via delete edge, insert vertex, insert
+	// edge. The optimal script must have exactly 3 operations and replay
+	// into G2.
+	dict := graph.NewLabels()
+	g1, g2 := paperG1(dict), paperG2(dict)
+	r, err := Compute(g1, g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := Script(g1, g2, r.Mapping)
+	if len(script) != 3 {
+		t.Fatalf("script length %d, want 3: %v", len(script), script)
+	}
+	out, err := Apply(g1, g2, r.Mapping, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(g2) {
+		t.Fatalf("script replay does not produce G2:\ngot %v\nwant %v", out, g2)
+	}
+}
+
+func TestScriptLengthEqualsAssignmentCost(t *testing.T) {
+	dict := graph.NewLabels()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomGraph(rng, dict, 2+rng.Intn(5))
+		b := randomGraph(rng, dict, 2+rng.Intn(5))
+		// Arbitrary (not necessarily optimal) assignment.
+		perm := rng.Perm(b.NumVertices())
+		phi := make([]int, a.NumVertices())
+		for u := range phi {
+			if u < len(perm) && rng.Intn(5) > 0 {
+				phi[u] = perm[u]
+			} else {
+				phi[u] = -1
+			}
+		}
+		return len(Script(a, b, phi)) == AssignmentCost(a, b, phi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickScriptReplaysIntoTarget(t *testing.T) {
+	dict := graph.NewLabels()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomGraph(rng, dict, 2+rng.Intn(4))
+		b := randomGraph(rng, dict, 2+rng.Intn(4))
+		r, err := Compute(a, b, Options{})
+		if err != nil {
+			return false
+		}
+		script := Script(a, b, r.Mapping)
+		if len(script) != r.Distance {
+			return false // optimal script must match the distance
+		}
+		out, err := Apply(a, b, r.Mapping, script)
+		if err != nil {
+			return false
+		}
+		return out.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScriptIdenticalGraphsEmpty(t *testing.T) {
+	dict := graph.NewLabels()
+	g := paperG1(dict)
+	r, err := Compute(g, g.Clone(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script := Script(g, g.Clone(), r.Mapping); len(script) != 0 {
+		t.Fatalf("identity script not empty: %v", script)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{
+		{Kind: AddVertex, U: 3, Label: 7},
+		{Kind: DeleteVertex, U: 2},
+		{Kind: RelabelVertex, U: 1, Label: 4},
+		{Kind: AddEdge, U: 0, V: 1, Label: 2},
+		{Kind: DeleteEdge, U: 0, V: 1},
+		{Kind: RelabelEdge, U: 0, V: 1, Label: 9},
+	}
+	want := []string{"AV(3)->7", "DV(2)", "RV(1)->4", "AE(0,1)->2", "DE(0,1)", "RE(0,1)->9"}
+	for i, op := range ops {
+		if op.String() != want[i] {
+			t.Errorf("op %d = %q, want %q", i, op.String(), want[i])
+		}
+	}
+	if OpKind(42).String() != "OpKind(42)" {
+		t.Error("unknown kind stringer broken")
+	}
+}

@@ -1,0 +1,515 @@
+package ged
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gsim/internal/branch"
+	"gsim/internal/graph"
+)
+
+// Figure 1 graphs: GED(G1, G2) = 3 (Example 1).
+func paperG1(dict *graph.Labels) *graph.Graph {
+	g := graph.New(3)
+	g.Name = "G1"
+	g.AddVertex(dict.Intern("A"))
+	g.AddVertex(dict.Intern("C"))
+	g.AddVertex(dict.Intern("B"))
+	g.MustAddEdge(0, 1, dict.Intern("y"))
+	g.MustAddEdge(0, 2, dict.Intern("y"))
+	g.MustAddEdge(1, 2, dict.Intern("z"))
+	return g
+}
+
+func paperG2(dict *graph.Labels) *graph.Graph {
+	g := graph.New(4)
+	g.Name = "G2"
+	g.AddVertex(dict.Intern("B"))
+	g.AddVertex(dict.Intern("A"))
+	g.AddVertex(dict.Intern("A"))
+	g.AddVertex(dict.Intern("C"))
+	g.MustAddEdge(0, 2, dict.Intern("x"))
+	g.MustAddEdge(0, 3, dict.Intern("z"))
+	g.MustAddEdge(1, 3, dict.Intern("y"))
+	return g
+}
+
+func TestPaperExample1GEDIsThree(t *testing.T) {
+	dict := graph.NewLabels()
+	d, err := Exact(paperG1(dict), paperG2(dict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 3 {
+		t.Fatalf("GED(G1,G2) = %d, want 3 (Example 1)", d)
+	}
+}
+
+func TestTheorem1GEDExtensionInvariant(t *testing.T) {
+	dict := graph.NewLabels()
+	g1, g2 := paperG1(dict), paperG2(dict)
+	e1, e2 := graph.ExtendPair(g1, g2)
+	de, err := Exact(e1, e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if de != 3 {
+		t.Fatalf("GED(G1',G2') = %d, want 3 (Theorem 1)", de)
+	}
+	// And on random small pairs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomGraph(rng, dict, 2+rng.Intn(3))
+		b := randomGraph(rng, dict, 2+rng.Intn(3))
+		d1, err1 := Exact(a, b)
+		ea, eb := graph.ExtendPair(a, b)
+		d2, err2 := Exact(ea, eb)
+		return err1 == nil && err2 == nil && d1 == d2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGEDIdentity(t *testing.T) {
+	dict := graph.NewLabels()
+	g := paperG1(dict)
+	d, err := Exact(g, g.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("GED(G,G) = %d", d)
+	}
+}
+
+func TestGEDEmptyGraphs(t *testing.T) {
+	dict := graph.NewLabels()
+	empty := graph.New(0)
+	d, err := Exact(empty, empty)
+	if err != nil || d != 0 {
+		t.Fatalf("GED(∅,∅) = %d, %v", d, err)
+	}
+	g := paperG1(dict)
+	// Building G1 from nothing: 3 AV + 3 AE = 6.
+	d, err = Exact(empty, g)
+	if err != nil || d != 6 {
+		t.Fatalf("GED(∅,G1) = %d, %v; want 6", d, err)
+	}
+}
+
+func TestGEDSingleOperations(t *testing.T) {
+	dict := graph.NewLabels()
+	base := paperG1(dict)
+
+	relV := base.Clone()
+	relV.RelabelVertex(0, dict.Intern("Z"))
+	assertGED(t, base, relV, 1)
+
+	relE := base.Clone()
+	if err := relE.RelabelEdge(0, 1, dict.Intern("w")); err != nil {
+		t.Fatal(err)
+	}
+	assertGED(t, base, relE, 1)
+
+	delE := base.Clone()
+	if err := delE.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	assertGED(t, base, delE, 1)
+
+	addV := base.Clone()
+	addV.AddVertex(dict.Intern("N"))
+	assertGED(t, base, addV, 1)
+
+	// Deleting a degree-2 vertex costs 1 DV + 2 DE = 3.
+	delV := graph.New(2)
+	delV.AddVertex(dict.Intern("A"))
+	delV.AddVertex(dict.Intern("C"))
+	delV.MustAddEdge(0, 1, dict.Intern("y"))
+	// base has vertices A,C,B; delV is base minus vertex B and its 2 edges.
+	assertGED(t, base, delV, 3)
+}
+
+func assertGED(t *testing.T, a, b *graph.Graph, want int) {
+	t.Helper()
+	d, err := Exact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != want {
+		t.Fatalf("GED = %d, want %d", d, want)
+	}
+	// Symmetry comes free with unit costs.
+	rd, err := Exact(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd != d {
+		t.Fatalf("GED asymmetric: %d vs %d", d, rd)
+	}
+}
+
+func randomGraph(rng *rand.Rand, dict *graph.Labels, n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(dict.Intern(string(rune('A' + rng.Intn(3)))))
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, dict.Intern(string(rune('a'+rng.Intn(3)))))
+		}
+	}
+	return g
+}
+
+// applyRandomEdits performs k random unit edits on a clone of g and returns
+// the edited graph.
+func applyRandomEdits(rng *rand.Rand, dict *graph.Labels, g *graph.Graph, k int) *graph.Graph {
+	h := g.Clone()
+	for i := 0; i < k; i++ {
+		switch rng.Intn(4) {
+		case 0: // RV
+			if h.NumVertices() > 0 {
+				h.RelabelVertex(rng.Intn(h.NumVertices()), dict.Intern(string(rune('A'+rng.Intn(3)))))
+			}
+		case 1: // RE
+			if es := h.Edges(); len(es) > 0 {
+				e := es[rng.Intn(len(es))]
+				_ = h.RelabelEdge(int(e.U), int(e.V), dict.Intern(string(rune('a'+rng.Intn(3)))))
+			}
+		case 2: // DE
+			if es := h.Edges(); len(es) > 0 {
+				e := es[rng.Intn(len(es))]
+				_ = h.RemoveEdge(int(e.U), int(e.V))
+			}
+		case 3: // AE
+			n := h.NumVertices()
+			if n >= 2 {
+				u, v := rng.Intn(n), rng.Intn(n)
+				if u != v && !h.HasEdge(u, v) {
+					h.MustAddEdge(u, v, dict.Intern(string(rune('a'+rng.Intn(3)))))
+				}
+			}
+		}
+	}
+	return h
+}
+
+func TestQuickGEDBoundedByEditCount(t *testing.T) {
+	dict := graph.NewLabels()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, dict, 3+rng.Intn(4))
+		k := rng.Intn(4)
+		h := applyRandomEdits(rng, dict, g, k)
+		d, err := Exact(g, h)
+		return err == nil && d <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGEDTriangleInequality(t *testing.T) {
+	dict := graph.NewLabels()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomGraph(rng, dict, 2+rng.Intn(3))
+		b := randomGraph(rng, dict, 2+rng.Intn(3))
+		c := randomGraph(rng, dict, 2+rng.Intn(3))
+		dab, e1 := Exact(a, b)
+		dbc, e2 := Exact(b, c)
+		dac, e3 := Exact(a, c)
+		return e1 == nil && e2 == nil && e3 == nil && dac <= dab+dbc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBranchBoundHolds ties the branch package to exact GED:
+// GED ≥ ceil(GBD/2), the relation the paper's ϕ ≤ 2τ range rests on.
+func TestQuickBranchBoundHolds(t *testing.T) {
+	dict := graph.NewLabels()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomGraph(rng, dict, 2+rng.Intn(4))
+		b := randomGraph(rng, dict, 2+rng.Intn(4))
+		d, err := Exact(a, b)
+		if err != nil {
+			return false
+		}
+		gbd := branch.GBDGraphs(a, b)
+		return d >= branch.LowerBoundGED(gbd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalMappingCostMatchesDistance(t *testing.T) {
+	dict := graph.NewLabels()
+	g1, g2 := paperG1(dict), paperG2(dict)
+	r, err := Compute(g1, g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AssignmentCost(g1, g2, r.Mapping); got != r.Distance {
+		t.Fatalf("AssignmentCost(optimal mapping) = %d, distance = %d", got, r.Distance)
+	}
+}
+
+func TestQuickAssignmentCostUpperBoundsGED(t *testing.T) {
+	dict := graph.NewLabels()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomGraph(rng, dict, 2+rng.Intn(4))
+		b := randomGraph(rng, dict, 2+rng.Intn(4))
+		d, err := Exact(a, b)
+		if err != nil {
+			return false
+		}
+		// Random valid assignment: permute g2 vertices, map prefix.
+		perm := rng.Perm(b.NumVertices())
+		phi := make([]int, a.NumVertices())
+		for u := range phi {
+			if u < len(perm) && rng.Intn(4) > 0 {
+				phi[u] = perm[u]
+			} else {
+				phi[u] = -1
+			}
+		}
+		return AssignmentCost(a, b, phi) >= d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeamSearchUpperBounds(t *testing.T) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		a := randomGraph(rng, dict, 4+rng.Intn(3))
+		b := randomGraph(rng, dict, 4+rng.Intn(3))
+		exact, err := Exact(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Compute(a, b, Options{Beam: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Exact {
+			t.Fatal("beam search must not claim exactness")
+		}
+		if r.Distance < exact {
+			t.Fatalf("beam distance %d below exact %d", r.Distance, exact)
+		}
+		// A generous beam must recover the exact value on tiny graphs.
+		wide, err := Compute(a, b, Options{Beam: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wide.Distance != exact {
+			t.Fatalf("beam=64 distance %d != exact %d", wide.Distance, exact)
+		}
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(2))
+	a := randomGraph(rng, dict, 9)
+	b := randomGraph(rng, dict, 9)
+	r, err := Compute(a, b, Options{MaxExpansions: 5})
+	if err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if r.Exact {
+		t.Fatal("budget-exhausted result claims exactness")
+	}
+	exact, err := Exact(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LowerBound > exact {
+		t.Fatalf("claimed lower bound %d exceeds exact GED %d", r.LowerBound, exact)
+	}
+}
+
+func TestComputeRejectsHugeGraphs(t *testing.T) {
+	dict := graph.NewLabels()
+	big := graph.New(70)
+	for i := 0; i < 70; i++ {
+		big.AddVertex(dict.Intern("A"))
+	}
+	if _, err := Compute(big, big, Options{}); err == nil {
+		t.Fatal("expected size rejection")
+	}
+}
+
+func TestGEDDifferentSizes(t *testing.T) {
+	dict := graph.NewLabels()
+	// Path A-B vs single A: delete edge + delete vertex B = 2.
+	p := graph.New(2)
+	p.AddVertex(dict.Intern("A"))
+	p.AddVertex(dict.Intern("B"))
+	p.MustAddEdge(0, 1, dict.Intern("x"))
+	s := graph.New(1)
+	s.AddVertex(dict.Intern("A"))
+	assertGED(t, p, s, 2)
+}
+
+func TestLimitedSearchProvesExclusion(t *testing.T) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 25; i++ {
+		a := randomGraph(rng, dict, 4+rng.Intn(4))
+		b := randomGraph(rng, dict, 4+rng.Intn(4))
+		exact, err := Exact(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, limit := range []int{1, exact - 1, exact, exact + 2} {
+			if limit <= 0 {
+				continue
+			}
+			r, err := Compute(a, b, Options{Limit: limit})
+			if exact <= limit {
+				if err != nil {
+					t.Fatalf("limit %d ≥ exact %d: err %v", limit, exact, err)
+				}
+				if r.Distance != exact {
+					t.Fatalf("limited search distance %d, exact %d", r.Distance, exact)
+				}
+			} else {
+				if err != ErrOverLimit {
+					t.Fatalf("limit %d < exact %d: err %v, want ErrOverLimit", limit, exact, err)
+				}
+				if r.LowerBound <= limit {
+					t.Fatalf("over-limit proof too weak: LB %d ≤ limit %d", r.LowerBound, limit)
+				}
+				if r.LowerBound > exact {
+					t.Fatalf("claimed LB %d above exact %d", r.LowerBound, exact)
+				}
+			}
+		}
+	}
+}
+
+func TestLimitedSearchMuchCheaperOnDistantPairs(t *testing.T) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(22))
+	a := randomGraph(rng, dict, 9)
+	b := randomGraph(rng, dict, 9)
+	full, err := Compute(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim, err := Compute(a, b, Options{Limit: 1})
+	if err != ErrOverLimit && err != nil {
+		t.Fatal(err)
+	}
+	if err == nil {
+		t.Skip("random pair unexpectedly within limit 1")
+	}
+	if lim.Expansions*2 > full.Expansions && full.Expansions > 100 {
+		t.Fatalf("limited search expanded %d vs full %d — pruning ineffective",
+			lim.Expansions, full.Expansions)
+	}
+}
+
+// TestDFSMatchesAStar cross-checks the two independent exact algorithms on
+// random instances — the strongest correctness evidence available for an
+// NP-hard oracle.
+func TestDFSMatchesAStar(t *testing.T) {
+	dict := graph.NewLabels()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomGraph(rng, dict, 2+rng.Intn(6))
+		b := randomGraph(rng, dict, 2+rng.Intn(6))
+		star, err := Exact(a, b)
+		if err != nil {
+			return false
+		}
+		r, err := ComputeDFS(a, b, Options{})
+		if err != nil {
+			return false
+		}
+		if !r.Exact || r.Distance != star {
+			return false
+		}
+		// The returned mapping must price to the distance.
+		return AssignmentCost(a, b, r.Mapping) == r.Distance
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDFSPaperExample(t *testing.T) {
+	dict := graph.NewLabels()
+	r, err := ComputeDFS(paperG1(dict), paperG2(dict), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Distance != 3 || !r.Exact {
+		t.Fatalf("DFS GED = %d exact=%v, want 3", r.Distance, r.Exact)
+	}
+}
+
+func TestDFSLimitSemantics(t *testing.T) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20; i++ {
+		a := randomGraph(rng, dict, 4+rng.Intn(3))
+		b := randomGraph(rng, dict, 4+rng.Intn(3))
+		exact, err := Exact(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, limit := range []int{1, exact, exact + 1} {
+			if limit <= 0 {
+				continue
+			}
+			r, err := ComputeDFS(a, b, Options{Limit: limit})
+			if exact <= limit {
+				if err != nil || r.Distance != exact {
+					t.Fatalf("limit %d ≥ exact %d: dist %d err %v", limit, exact, r.Distance, err)
+				}
+			} else if err != ErrOverLimit {
+				t.Fatalf("limit %d < exact %d: err %v, want ErrOverLimit", limit, exact, err)
+			}
+		}
+	}
+}
+
+func TestDFSBudget(t *testing.T) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(32))
+	a := randomGraph(rng, dict, 10)
+	b := randomGraph(rng, dict, 10)
+	if _, err := ComputeDFS(a, b, Options{MaxExpansions: 3}); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	big := graph.New(70)
+	for i := 0; i < 70; i++ {
+		big.AddVertex(dict.Intern("A"))
+	}
+	if _, err := ComputeDFS(big, big, Options{}); err == nil {
+		t.Fatal("oversized graphs accepted")
+	}
+}
+
+func TestDFSIdentity(t *testing.T) {
+	dict := graph.NewLabels()
+	g := paperG1(dict)
+	r, err := ComputeDFS(g, g.Clone(), Options{})
+	if err != nil || r.Distance != 0 || !r.Exact {
+		t.Fatalf("DFS identity: %+v, %v", r, err)
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n int) (*Graph, *Labels) {
+	dict := NewLabels()
+	rng := rand.New(rand.NewSource(1))
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(dict.Intern(string(rune('A' + rng.Intn(8)))))
+	}
+	for i := 0; i < 4*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, dict.Intern(string(rune('a'+rng.Intn(8)))))
+		}
+	}
+	return g, dict
+}
+
+func BenchmarkAddEdge(b *testing.B) {
+	dict := NewLabels()
+	l := dict.Intern("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := New(64)
+		for v := 0; v < 64; v++ {
+			g.AddVertex(l)
+		}
+		for v := 1; v < 64; v++ {
+			g.MustAddEdge(v, v/2, l)
+		}
+	}
+}
+
+func BenchmarkEdgeLabelLookup(b *testing.B) {
+	g, _ := benchGraph(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = g.EdgeLabel(i%1000, (i*7)%1000)
+	}
+}
+
+func BenchmarkClone1000(b *testing.B) {
+	g, _ := benchGraph(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Clone()
+	}
+}
+
+func BenchmarkCodecWrite(b *testing.B) {
+	g, dict := benchGraph(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, g, dict); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecRead(b *testing.B) {
+	g, dict := benchGraph(500)
+	var buf bytes.Buffer
+	if err := Write(&buf, g, dict); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(bytes.NewReader(data), NewLabels()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidate(b *testing.B) {
+	g, _ := benchGraph(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The .gsim text format, one graph per stanza:
+//
+//	g <name> <numVertices>
+//	v <index> <label>
+//	e <u> <v> <label>
+//	#  comment lines and blank lines are ignored
+//
+// Labels are free-form tokens without whitespace. The format is meant to be
+// diff-friendly and easy to produce from other tools; the db package layers
+// a faster binary snapshot on top.
+
+// Write encodes g to w in .gsim text form, resolving labels through dict.
+func Write(w io.Writer, g *Graph, dict *Labels) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "g %s %d\n", sanitizeName(g.Name), g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		fmt.Fprintf(bw, "v %d %s\n", v, dict.Name(g.VertexLabel(v)))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "e %d %d %s\n", e.U, e.V, dict.Name(e.Label))
+	}
+	return bw.Flush()
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// WriteAll encodes each graph in sequence.
+func WriteAll(w io.Writer, gs []*Graph, dict *Labels) error {
+	for _, g := range gs {
+		if err := Write(w, g, dict); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAll parses every graph stanza from r, interning labels into dict.
+func ReadAll(r io.Reader, dict *Labels) ([]*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var (
+		out  []*Graph
+		cur  *Graph
+		line int
+	)
+	finish := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := cur.Validate(); err != nil {
+			return err
+		}
+		out = append(out, cur)
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "g":
+			if err := finish(); err != nil {
+				return nil, err
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("gsim:%d: want 'g <name> <n>', got %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("gsim:%d: bad vertex count %q", line, fields[2])
+			}
+			cur = New(n)
+			cur.Name = fields[1]
+		case "v":
+			if cur == nil {
+				return nil, fmt.Errorf("gsim:%d: vertex before graph header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("gsim:%d: want 'v <i> <label>', got %q", line, text)
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil || idx != cur.NumVertices() {
+				return nil, fmt.Errorf("gsim:%d: vertices must appear in order, got index %q after %d", line, fields[1], cur.NumVertices())
+			}
+			cur.AddVertex(dict.Intern(fields[2]))
+		case "e":
+			if cur == nil {
+				return nil, fmt.Errorf("gsim:%d: edge before graph header", line)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("gsim:%d: want 'e <u> <v> <label>', got %q", line, text)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("gsim:%d: bad edge endpoints %q", line, text)
+			}
+			if err := cur.AddEdge(u, v, dict.Intern(fields[3])); err != nil {
+				return nil, fmt.Errorf("gsim:%d: %v", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("gsim:%d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

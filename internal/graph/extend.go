@@ -1,0 +1,37 @@
+package graph
+
+// Extend materialises the extended graph G{k} of Definition 5: k isolated
+// virtual (ε-labeled) vertices are appended, then a virtual edge is inserted
+// between every pair of non-adjacent vertices, so the result is a complete
+// graph on |V|+k vertices.
+//
+// The paper proves (Theorems 1 and 2) that GED and GBD are invariant under
+// this extension, so production code never calls Extend; it exists so tests
+// can verify both theorems directly. Beware the quadratic blow-up: only call
+// it on small graphs.
+func Extend(g *Graph, k int) *Graph {
+	e := g.Clone()
+	e.Name = g.Name + "+ext"
+	for i := 0; i < k; i++ {
+		e.AddVertex(Epsilon)
+	}
+	n := e.NumVertices()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !e.HasEdge(u, v) {
+				e.MustAddEdge(u, v, Epsilon)
+			}
+		}
+	}
+	return e
+}
+
+// ExtendPair returns G1' = G1{|V2|-|V1|} and G2' = G2{0} for |V1| <= |V2|,
+// the canonical extended pair of Section IV (swapping arguments if needed so
+// the first result always extends the smaller graph).
+func ExtendPair(g1, g2 *Graph) (*Graph, *Graph) {
+	if g1.NumVertices() > g2.NumVertices() {
+		g1, g2 = g2, g1
+	}
+	return Extend(g1, g2.NumVertices()-g1.NumVertices()), Extend(g2, 0)
+}

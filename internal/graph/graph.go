@@ -1,0 +1,292 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Halfedge is one directed half of an undirected edge as stored in an
+// adjacency list: the opposite endpoint and the interned edge label.
+type Halfedge struct {
+	To    int32
+	Label ID
+}
+
+// Graph is a simple labeled undirected graph (Section II of the paper):
+// no self-loops, at most one edge per vertex pair, and interned labels on
+// every vertex and edge. Vertices are dense indices 0..NumVertices()-1.
+//
+// Directed or weighted graphs are represented, as the paper prescribes, by
+// folding direction or weight into the edge label string before interning.
+//
+// The zero value is an empty graph ready for use.
+type Graph struct {
+	// Name identifies the graph inside a database (e.g. "aids-0042").
+	Name string
+
+	vlabels []ID         // vertex labels, index = vertex
+	adj     [][]Halfedge // adjacency lists, kept sorted by (To, Label)
+	edges   int
+}
+
+// New returns an empty graph with capacity hints for n vertices.
+func New(n int) *Graph {
+	return &Graph{
+		vlabels: make([]ID, 0, n),
+		adj:     make([][]Halfedge, 0, n),
+	}
+}
+
+// NumVertices reports |V|.
+func (g *Graph) NumVertices() int { return len(g.vlabels) }
+
+// NumEdges reports |E|.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddVertex appends a vertex with the given interned label and returns its
+// index.
+func (g *Graph) AddVertex(label ID) int {
+	g.vlabels = append(g.vlabels, label)
+	g.adj = append(g.adj, nil)
+	return len(g.vlabels) - 1
+}
+
+// VertexLabel returns the interned label of vertex v.
+func (g *Graph) VertexLabel(v int) ID { return g.vlabels[v] }
+
+// RelabelVertex sets vertex v's label (edit operation RV of Definition 1).
+func (g *Graph) RelabelVertex(v int, label ID) { g.vlabels[v] = label }
+
+// Degree reports the number of edges incident to v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns v's adjacency list. The slice is owned by the graph and
+// must not be modified.
+func (g *Graph) Neighbors(v int) []Halfedge { return g.adj[v] }
+
+// AddEdge inserts the undirected edge {u,v} with the given label (edit
+// operation AE). It reports an error for self-loops, out-of-range endpoints,
+// or duplicate edges, keeping the graph simple.
+func (g *Graph) AddEdge(u, v int, label ID) error {
+	if u == v {
+		return fmt.Errorf("graph %q: self-loop on vertex %d", g.Name, u)
+	}
+	if u < 0 || v < 0 || u >= len(g.vlabels) || v >= len(g.vlabels) {
+		return fmt.Errorf("graph %q: edge (%d,%d) out of range [0,%d)", g.Name, u, v, len(g.vlabels))
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graph %q: duplicate edge (%d,%d)", g.Name, u, v)
+	}
+	g.insertHalf(u, Halfedge{To: int32(v), Label: label})
+	g.insertHalf(v, Halfedge{To: int32(u), Label: label})
+	g.edges++
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code where the inputs are known
+// valid; it panics on error.
+func (g *Graph) MustAddEdge(u, v int, label ID) {
+	if err := g.AddEdge(u, v, label); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) insertHalf(u int, h Halfedge) {
+	list := g.adj[u]
+	i := sort.Search(len(list), func(i int) bool {
+		if list[i].To != h.To {
+			return list[i].To > h.To
+		}
+		return list[i].Label >= h.Label
+	})
+	list = append(list, Halfedge{})
+	copy(list[i+1:], list[i:])
+	list[i] = h
+	g.adj[u] = list
+}
+
+// HasEdge reports whether edge {u,v} exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.EdgeLabel(u, v)
+	return ok
+}
+
+// EdgeLabel returns the label of edge {u,v} and whether the edge exists.
+func (g *Graph) EdgeLabel(u, v int) (ID, bool) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return 0, false
+	}
+	list := g.adj[u]
+	i := sort.Search(len(list), func(i int) bool { return list[i].To >= int32(v) })
+	if i < len(list) && list[i].To == int32(v) {
+		return list[i].Label, true
+	}
+	return 0, false
+}
+
+// RelabelEdge sets the label of the existing edge {u,v} (edit operation RE).
+func (g *Graph) RelabelEdge(u, v int, label ID) error {
+	if !g.setHalfLabel(u, v, label) || !g.setHalfLabel(v, u, label) {
+		return fmt.Errorf("graph %q: relabel of missing edge (%d,%d)", g.Name, u, v)
+	}
+	return nil
+}
+
+func (g *Graph) setHalfLabel(u, v int, label ID) bool {
+	list := g.adj[u]
+	i := sort.Search(len(list), func(i int) bool { return list[i].To >= int32(v) })
+	if i < len(list) && list[i].To == int32(v) {
+		list[i].Label = label
+		return true
+	}
+	return false
+}
+
+// RemoveEdge deletes edge {u,v} (edit operation DE).
+func (g *Graph) RemoveEdge(u, v int) error {
+	if !g.removeHalf(u, v) || !g.removeHalf(v, u) {
+		return fmt.Errorf("graph %q: removal of missing edge (%d,%d)", g.Name, u, v)
+	}
+	g.edges--
+	return nil
+}
+
+func (g *Graph) removeHalf(u, v int) bool {
+	list := g.adj[u]
+	i := sort.Search(len(list), func(i int) bool { return list[i].To >= int32(v) })
+	if i < len(list) && list[i].To == int32(v) {
+		g.adj[u] = append(list[:i], list[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// Edge is an undirected edge in canonical (U < V) form.
+type Edge struct {
+	U, V  int32
+	Label ID
+}
+
+// Edges returns all edges in canonical form, sorted by (U, V).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for u := range g.adj {
+		for _, h := range g.adj[u] {
+			if int(h.To) > u {
+				out = append(out, Edge{U: int32(u), V: h.To, Label: h.Label})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Name:    g.Name,
+		vlabels: append([]ID(nil), g.vlabels...),
+		adj:     make([][]Halfedge, len(g.adj)),
+		edges:   g.edges,
+	}
+	for i, list := range g.adj {
+		c.adj[i] = append([]Halfedge(nil), list...)
+	}
+	return c
+}
+
+// Equal reports whether g and h are identical labeled graphs under the
+// identity vertex mapping (same vertex count, same labels, same edges).
+// This is structural equality, not isomorphism.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumVertices() != h.NumVertices() || g.edges != h.edges {
+		return false
+	}
+	for i, l := range g.vlabels {
+		if h.vlabels[i] != l {
+			return false
+		}
+	}
+	for u := range g.adj {
+		if len(g.adj[u]) != len(h.adj[u]) {
+			return false
+		}
+		for i, he := range g.adj[u] {
+			if h.adj[u][i] != he {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Validate checks the internal invariants: symmetric sorted adjacency, no
+// loops, no duplicates, consistent edge count. It is used by tests and by
+// the codec after parsing.
+func (g *Graph) Validate() error {
+	halves := 0
+	for u := range g.adj {
+		prev := Halfedge{To: -1}
+		for _, h := range g.adj[u] {
+			if int(h.To) == u {
+				return fmt.Errorf("graph %q: self-loop at %d", g.Name, u)
+			}
+			if int(h.To) < 0 || int(h.To) >= len(g.vlabels) {
+				return fmt.Errorf("graph %q: dangling half-edge %d->%d", g.Name, u, h.To)
+			}
+			if h.To == prev.To {
+				return fmt.Errorf("graph %q: duplicate edge (%d,%d)", g.Name, u, h.To)
+			}
+			if h.To < prev.To {
+				return fmt.Errorf("graph %q: unsorted adjacency at %d", g.Name, u)
+			}
+			back, ok := g.EdgeLabel(int(h.To), u)
+			if !ok || back != h.Label {
+				return fmt.Errorf("graph %q: asymmetric edge (%d,%d)", g.Name, u, h.To)
+			}
+			prev = h
+			halves++
+		}
+	}
+	if halves != 2*g.edges {
+		return fmt.Errorf("graph %q: edge count %d != %d half-edges/2", g.Name, g.edges, halves)
+	}
+	return nil
+}
+
+// AvgDegree reports the average vertex degree 2|E|/|V| (the d of Eq. 2 and
+// Theorem 3), or 0 for the empty graph.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.vlabels) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.vlabels))
+}
+
+// Connected reports whether g is connected (or empty).
+func (g *Graph) Connected() bool {
+	n := g.NumVertices()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[u] {
+			if !seen[h.To] {
+				seen[h.To] = true
+				count++
+				stack = append(stack, int(h.To))
+			}
+		}
+	}
+	return count == n
+}
+
+// String returns a short human-readable summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph %q (|V|=%d |E|=%d)", g.Name, g.NumVertices(), g.edges)
+}

@@ -1,0 +1,52 @@
+package index
+
+import (
+	"testing"
+
+	"gsim/internal/branch"
+	"gsim/internal/dataset"
+)
+
+func benchDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Name: "bx", NumGraphs: 200, MinV: 15, MaxV: 40, ExtraPerV: 0.1,
+		ScaleFree: true, LV: 30, LE: 4, PoolSize: 6, ClusterSize: 20,
+		ModSlots: 8, GuardTau: 10, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkBuild(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(ds.Col)
+	}
+}
+
+func BenchmarkPruningScan(b *testing.B) {
+	ds := benchDataset(b)
+	ix := Build(ds.Col)
+	q := ds.Queries[0]
+	qs := ix.Summary(q)
+	qb := ds.Col.Entry(q).Branches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.Pruning(qs, qb, 5)
+	}
+}
+
+func BenchmarkLowerBoundPair(b *testing.B) {
+	ds := benchDataset(b)
+	ix := Build(ds.Col)
+	qs := ix.Summary(0)
+	qb := branch.Multiset(ds.Col.Entry(0).Branches)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ix.LowerBound(qs, qb, 1+i%(ix.Len()-1))
+	}
+}

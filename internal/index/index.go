@@ -1,0 +1,159 @@
+// Package index implements cheap admissible pre-filters for graph
+// similarity search, in the spirit of the multi-layered filtering the
+// paper's related work discusses ([35], and the size/label-filter
+// tradition of [4][19]). Each filter computes a true lower bound on
+// GED(Q, G) in time linear in the graph summaries, so pruning a graph
+// whose bound exceeds τ̂ can never cost recall:
+//
+//   - size filter: every operation changes |V| or |E| by at most one, so
+//     GED ≥ max(||V1|−|V2||, ||E1|−|E2||);
+//   - label filter: vertex operations change the vertex-label multiset by
+//     at most one element, edge operations the edge-label multiset, and
+//     the two operation families are disjoint, so
+//     GED ≥ vdist + edist (multiset distances);
+//   - branch filter: one operation changes at most two branches, so
+//     GED ≥ ⌈GBD/2⌉ (the bound of Zheng et al. [15], free here because
+//     branch multisets are precomputed by the database layer).
+//
+// The composite bound is the maximum of the three.
+package index
+
+import (
+	"sort"
+
+	"gsim/internal/branch"
+	"gsim/internal/db"
+	"gsim/internal/graph"
+)
+
+// Summary is the constant-size filter signature of one graph.
+type Summary struct {
+	V, E    int
+	VLabels []graph.ID // sorted vertex-label multiset
+	ELabels []graph.ID // sorted edge-label multiset
+}
+
+// Summarize extracts a Summary from a graph.
+func Summarize(g *graph.Graph) Summary {
+	s := Summary{V: g.NumVertices(), E: g.NumEdges()}
+	s.VLabels = make([]graph.ID, s.V)
+	for v := 0; v < s.V; v++ {
+		s.VLabels[v] = g.VertexLabel(v)
+	}
+	sort.Slice(s.VLabels, func(i, j int) bool { return s.VLabels[i] < s.VLabels[j] })
+	s.ELabels = make([]graph.ID, 0, s.E)
+	for _, e := range g.Edges() {
+		s.ELabels = append(s.ELabels, e.Label)
+	}
+	sort.Slice(s.ELabels, func(i, j int) bool { return s.ELabels[i] < s.ELabels[j] })
+	return s
+}
+
+// LowerBound returns the composite size+label lower bound on GED between
+// the two summarised graphs.
+func (s Summary) LowerBound(o Summary) int {
+	lb := abs(s.V - o.V)
+	if d := abs(s.E - o.E); d > lb {
+		lb = d
+	}
+	if d := multisetDistance(s.VLabels, o.VLabels) + multisetDistance(s.ELabels, o.ELabels); d > lb {
+		lb = d
+	}
+	return lb
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func multisetDistance(a, b []graph.ID) int {
+	i, j, common := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			common++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	m := len(a)
+	if len(b) > m {
+		m = len(b)
+	}
+	return m - common
+}
+
+// Index holds the summaries of every graph in a collection.
+type Index struct {
+	col  *db.Collection
+	sums []Summary
+}
+
+// Build summarises every graph of the collection (parallel, one pass).
+func Build(col *db.Collection) *Index {
+	ix := &Index{col: col, sums: make([]Summary, col.Len())}
+	col.Scan(0, func(i int, e *db.Entry) {
+		ix.sums[i] = Summarize(e.G)
+	})
+	return ix
+}
+
+// Len reports the number of indexed graphs.
+func (ix *Index) Len() int { return len(ix.sums) }
+
+// Summary returns the stored summary of collection entry i.
+func (ix *Index) Summary(i int) Summary { return ix.sums[i] }
+
+// LowerBound computes the composite lower bound — size, label and branch
+// layers — between a prepared query (summary + branch multiset) and the
+// indexed graph i.
+func (ix *Index) LowerBound(q Summary, qBranches branch.Multiset, i int) int {
+	lb := q.LowerBound(ix.sums[i])
+	if bb := branch.LowerBoundGED(branch.GBD(qBranches, ix.col.Entry(i).Branches)); bb > lb {
+		lb = bb
+	}
+	return lb
+}
+
+// Prunable reports whether graph i provably violates GED ≤ tau.
+func (ix *Index) Prunable(q Summary, qBranches branch.Multiset, i, tau int) bool {
+	return ix.LowerBound(q, qBranches, i) > tau
+}
+
+// Stats summarises pruning power for one query at one threshold: how many
+// graphs each successive layer would remove.
+type Stats struct {
+	Total, SizePruned, LabelPruned, BranchPruned, Survivors int
+}
+
+// Pruning evaluates the layered filter over the whole index.
+func (ix *Index) Pruning(q Summary, qBranches branch.Multiset, tau int) Stats {
+	st := Stats{Total: len(ix.sums)}
+	for i, s := range ix.sums {
+		sizeLB := abs(q.V - s.V)
+		if d := abs(q.E - s.E); d > sizeLB {
+			sizeLB = d
+		}
+		if sizeLB > tau {
+			st.SizePruned++
+			continue
+		}
+		if multisetDistance(q.VLabels, s.VLabels)+multisetDistance(q.ELabels, s.ELabels) > tau {
+			st.LabelPruned++
+			continue
+		}
+		if branch.LowerBoundGED(branch.GBD(qBranches, ix.col.Entry(i).Branches)) > tau {
+			st.BranchPruned++
+			continue
+		}
+		st.Survivors++
+	}
+	return st
+}

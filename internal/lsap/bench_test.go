@@ -1,0 +1,68 @@
+package lsap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gsim/internal/graph"
+)
+
+func BenchmarkHungarianBySize(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{32, 128, 512} {
+		m := randomMatrix(rng, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = Solve(m)
+			}
+		})
+	}
+}
+
+func BenchmarkGreedySortBySize(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{32, 128, 512} {
+		m := randomMatrix(rng, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, _ = GreedySort(m)
+			}
+		})
+	}
+}
+
+func BenchmarkCostMatrixBuild(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(3))
+	g1 := randomGraph(rng, dict, 60)
+	g2 := randomGraph(rng, dict, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = CostMatrix(g1, g2, BranchHalf)
+	}
+}
+
+func BenchmarkLowerBoundPair(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(4))
+	g1 := randomGraph(rng, dict, 40)
+	g2 := randomGraph(rng, dict, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LowerBound(g1, g2)
+	}
+}
+
+func BenchmarkGreedyEstimatePair(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(5))
+	g1 := randomGraph(rng, dict, 40)
+	g2 := randomGraph(rng, dict, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = GreedyEstimateGED(g1, g2)
+	}
+}

@@ -1,0 +1,79 @@
+// Package metrics computes the retrieval-quality measures of the paper's
+// effectiveness evaluation (Section VII-C): precision, recall and F1-score
+// of a search result against the ground-truth answer set.
+package metrics
+
+import "fmt"
+
+// Counts tallies a confusion between a returned set and a truth set.
+type Counts struct {
+	TP, FP, FN int
+}
+
+// Evaluate compares the returned indexes against the truth indexes.
+// Duplicates in either input are ignored.
+func Evaluate(returned, truth []int) Counts {
+	inTruth := make(map[int]bool, len(truth))
+	for _, t := range truth {
+		inTruth[t] = true
+	}
+	var c Counts
+	seen := make(map[int]bool, len(returned))
+	for _, r := range returned {
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if inTruth[r] {
+			c.TP++
+		} else {
+			c.FP++
+		}
+	}
+	for _, t := range truth {
+		if inTruth[t] && !seen[t] {
+			c.FN++
+			inTruth[t] = false // count each truth item once
+		}
+	}
+	return c
+}
+
+// Add accumulates another query's counts (micro-averaging).
+func (c *Counts) Add(o Counts) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+}
+
+// Precision returns TP/(TP+FP). An empty result set scores 1 by the usual
+// convention used in the paper's plots (nothing returned, nothing wrong).
+func (c Counts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN). An empty truth set scores 1.
+func (c Counts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Counts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the three measures compactly.
+func (c Counts) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)",
+		c.Precision(), c.Recall(), c.F1(), c.TP, c.FP, c.FN)
+}

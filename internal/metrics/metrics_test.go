@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvaluateBasic(t *testing.T) {
+	c := Evaluate([]int{1, 2, 3, 4}, []int{2, 4, 5})
+	if c.TP != 2 || c.FP != 2 || c.FN != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if got := c.Precision(); got != 0.5 {
+		t.Fatalf("precision = %v", got)
+	}
+	if got := c.Recall(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("recall = %v", got)
+	}
+	wantF1 := 2 * 0.5 * (2.0 / 3) / (0.5 + 2.0/3)
+	if got := c.F1(); math.Abs(got-wantF1) > 1e-12 {
+		t.Fatalf("f1 = %v, want %v", got, wantF1)
+	}
+}
+
+func TestEvaluateDuplicatesIgnored(t *testing.T) {
+	c := Evaluate([]int{1, 1, 2, 2}, []int{1, 1})
+	if c.TP != 1 || c.FP != 1 || c.FN != 0 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestEmptyConventions(t *testing.T) {
+	if p := (Counts{}).Precision(); p != 1 {
+		t.Fatalf("empty precision = %v", p)
+	}
+	if r := (Counts{}).Recall(); r != 1 {
+		t.Fatalf("empty recall = %v", r)
+	}
+	if f := (Counts{}).F1(); f != 1 {
+		t.Fatalf("empty f1 = %v", f)
+	}
+	// Returned nothing, truth non-empty: precision 1, recall 0, F1 0.
+	c := Evaluate(nil, []int{1})
+	if c.Precision() != 1 || c.Recall() != 0 || c.F1() != 0 {
+		t.Fatalf("counts = %+v → %v %v %v", c, c.Precision(), c.Recall(), c.F1())
+	}
+}
+
+func TestPerfectResult(t *testing.T) {
+	c := Evaluate([]int{7, 8}, []int{8, 7})
+	if c.Precision() != 1 || c.Recall() != 1 || c.F1() != 1 {
+		t.Fatalf("perfect result scored %v", c)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	a := Evaluate([]int{1}, []int{1, 2})
+	b := Evaluate([]int{3, 4}, []int{3})
+	a.Add(b)
+	if a.TP != 2 || a.FP != 1 || a.FN != 1 {
+		t.Fatalf("accumulated = %+v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestQuickMeasureBounds(t *testing.T) {
+	f := func(ret, truth []uint8) bool {
+		r := make([]int, len(ret))
+		for i, v := range ret {
+			r[i] = int(v % 16)
+		}
+		tr := make([]int, len(truth))
+		for i, v := range truth {
+			tr[i] = int(v % 16)
+		}
+		c := Evaluate(r, tr)
+		p, rc, f1 := c.Precision(), c.Recall(), c.F1()
+		if p < 0 || p > 1 || rc < 0 || rc > 1 || f1 < 0 || f1 > 1 {
+			return false
+		}
+		// The harmonic mean lies between its two components.
+		lo, hi := math.Min(p, rc), math.Max(p, rc)
+		return f1 >= lo-1e-12 && f1 <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package prob
+
+import "math/big"
+
+// BigChoose returns C(n, k) as an arbitrary-precision float with the given
+// mantissa precision. n may be astronomically large (e.g. the C(v,2) edge
+// count of a 100K-vertex complete graph) as long as it is exactly
+// representable in a float64; k must be small, as in the model's sums where
+// k ≤ 2τ̂.
+//
+// The Ω2 table of Lemma 2 is an alternating inclusion–exclusion sum whose
+// terms dwarf the result; float64 log-space evaluation loses up to ten
+// digits to cancellation at v = 100K. Building the (tiny, offline) table
+// with 256-bit terms removes the problem outright.
+func BigChoose(n float64, k int, prec uint) *big.Float {
+	r := new(big.Float).SetPrec(prec).SetInt64(1)
+	if k < 0 || float64(k) > n || n < 0 {
+		return new(big.Float).SetPrec(prec) // zero: out of support
+	}
+	f := new(big.Float).SetPrec(prec)
+	for i := 0; i < k; i++ {
+		f.SetFloat64(n - float64(i))
+		r.Mul(r, f)
+		f.SetFloat64(float64(i + 1))
+		r.Quo(r, f)
+	}
+	return r
+}

@@ -1,0 +1,173 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sampleMixture(rng *rand.Rand, n int, weights []float64, comps []Normal) []float64 {
+	data := make([]float64, n)
+	for i := range data {
+		u := rng.Float64()
+		var acc float64
+		idx := len(weights) - 1
+		for j, w := range weights {
+			acc += w
+			if u < acc {
+				idx = j
+				break
+			}
+		}
+		data[i] = comps[idx].Mu + comps[idx].Sigma*rng.NormFloat64()
+	}
+	return data
+}
+
+func TestFitGMMRecoversTwoComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trueW := []float64{0.4, 0.6}
+	trueC := []Normal{{Mu: 0, Sigma: 1}, {Mu: 10, Sigma: 1.5}}
+	data := sampleMixture(rng, 4000, trueW, trueC)
+
+	m, err := FitGMM(data, GMMConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sort components by mean for comparison.
+	i0, i1 := 0, 1
+	if m.Comps[0].Mu > m.Comps[1].Mu {
+		i0, i1 = 1, 0
+	}
+	if math.Abs(m.Comps[i0].Mu-0) > 0.3 || math.Abs(m.Comps[i1].Mu-10) > 0.3 {
+		t.Fatalf("means %v, %v; want ≈0, ≈10", m.Comps[i0].Mu, m.Comps[i1].Mu)
+	}
+	if math.Abs(m.Weights[i0]-0.4) > 0.05 {
+		t.Fatalf("weight %v, want ≈0.4", m.Weights[i0])
+	}
+}
+
+func TestFitGMMWeightsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := sampleMixture(rng, 500, []float64{1}, []Normal{{Mu: 3, Sigma: 2}})
+	for k := 1; k <= 4; k++ {
+		m, err := FitGMM(data, GMMConfig{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, w := range m.Weights {
+			s += w
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("K=%d: weights sum to %v", k, s)
+		}
+		for _, c := range m.Comps {
+			if c.Sigma <= 0 {
+				t.Fatalf("K=%d: non-positive sigma %v", k, c.Sigma)
+			}
+		}
+	}
+}
+
+func TestFitGMMEmptyData(t *testing.T) {
+	if _, err := FitGMM(nil, GMMConfig{}); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+}
+
+func TestFitGMMConstantData(t *testing.T) {
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = 7
+	}
+	m, err := FitGMM(data, GMMConfig{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collapses to one component pinned at 7 with floored variance.
+	if len(m.Comps) != 1 {
+		t.Fatalf("constant data produced %d components", len(m.Comps))
+	}
+	if math.Abs(m.Comps[0].Mu-7) > 1e-9 {
+		t.Fatalf("mu = %v, want 7", m.Comps[0].Mu)
+	}
+	if m.DiscreteProb(7) < 0.9 {
+		t.Fatalf("P[6.5,7.5] = %v, want ≈1", m.DiscreteProb(7))
+	}
+}
+
+func TestGMMDensityIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := sampleMixture(rng, 1000, []float64{0.5, 0.5}, []Normal{{Mu: 2, Sigma: 1}, {Mu: 8, Sigma: 2}})
+	m, err := FitGMM(data, GMMConfig{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoid integration over a wide window.
+	var integral float64
+	const step = 0.01
+	for x := -20.0; x < 40; x += step {
+		integral += m.PDF(x) * step
+	}
+	if math.Abs(integral-1) > 1e-3 {
+		t.Fatalf("∫PDF = %v", integral)
+	}
+	// CDF limits.
+	if m.CDF(-1e6) > 1e-9 || math.Abs(m.CDF(1e6)-1) > 1e-9 {
+		t.Fatal("CDF limits wrong")
+	}
+}
+
+func TestGMMDiscreteProbContinuityCorrection(t *testing.T) {
+	m := &GMM{Weights: []float64{1}, Comps: []Normal{{Mu: 5, Sigma: 2}}}
+	want := Normal{Mu: 5, Sigma: 2}.IntervalProb(4.5, 5.5)
+	if got := m.DiscreteProb(5); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DiscreteProb(5) = %v, want %v", got, want)
+	}
+	// Summing the discretised pmf over a wide integer range ≈ 1 (Eq. 14).
+	var sum float64
+	for phi := -40; phi <= 60; phi++ {
+		sum += m.DiscreteProb(float64(phi))
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("discretised mass = %v", sum)
+	}
+}
+
+func TestGMMMoreComponentsNeverHurtLikelihoodMuch(t *testing.T) {
+	// Sanity for the K-ablation: with more components the achieved mean
+	// log-likelihood should not collapse.
+	rng := rand.New(rand.NewSource(3))
+	data := sampleMixture(rng, 1500, []float64{0.3, 0.7}, []Normal{{Mu: 0, Sigma: 1}, {Mu: 6, Sigma: 1}})
+	ll1 := mustFit(t, data, 1).MeanLogLikelihood(data)
+	ll2 := mustFit(t, data, 2).MeanLogLikelihood(data)
+	ll4 := mustFit(t, data, 4).MeanLogLikelihood(data)
+	if ll2 < ll1-1e-6 {
+		t.Fatalf("K=2 (%v) worse than K=1 (%v)", ll2, ll1)
+	}
+	if ll4 < ll2-0.05 {
+		t.Fatalf("K=4 (%v) much worse than K=2 (%v)", ll4, ll2)
+	}
+}
+
+func mustFit(t *testing.T, data []float64, k int) *GMM {
+	t.Helper()
+	m, err := FitGMM(data, GMMConfig{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGMMFitIsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := sampleMixture(rng, 800, []float64{0.5, 0.5}, []Normal{{Mu: 1, Sigma: 1}, {Mu: 9, Sigma: 1}})
+	a := mustFit(t, data, 3)
+	b := mustFit(t, data, 3)
+	for i := range a.Comps {
+		if a.Comps[i] != b.Comps[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatal("two fits on identical data disagree")
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package prob
+
+import "math"
+
+// Normal is a Gaussian distribution N(mu, sigma²).
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// PDF returns the probability density at x.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// LogPDF returns ln PDF(x).
+func (n Normal) LogPDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return -0.5*z*z - math.Log(n.Sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// CDF returns P[X ≤ x].
+func (n Normal) CDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf((x-n.Mu)/(n.Sigma*math.Sqrt2)))
+}
+
+// IntervalProb returns P[a ≤ X ≤ b].
+func (n Normal) IntervalProb(a, b float64) float64 {
+	if b < a {
+		a, b = b, a
+	}
+	return n.CDF(b) - n.CDF(a)
+}

@@ -1,0 +1,37 @@
+package seriation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gsim/internal/graph"
+)
+
+func BenchmarkLeadingEigenvector(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{100, 1000, 5000} {
+		g := randomGraph(rng, dict, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _ = LeadingEigenvector(g, PowerIterOptions{})
+			}
+		})
+	}
+}
+
+func BenchmarkEstimateGEDPair(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{100, 500} {
+		g1 := randomGraph(rng, dict, n)
+		g2 := randomGraph(rng, dict, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = EstimateGED(g1, g2)
+			}
+		})
+	}
+}

@@ -1,0 +1,198 @@
+package seriation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gsim/internal/graph"
+)
+
+func path3(dict *graph.Labels) *graph.Graph {
+	g := graph.New(3)
+	g.AddVertex(dict.Intern("A"))
+	g.AddVertex(dict.Intern("B"))
+	g.AddVertex(dict.Intern("C"))
+	g.MustAddEdge(0, 1, dict.Intern("x"))
+	g.MustAddEdge(1, 2, dict.Intern("x"))
+	return g
+}
+
+func star(dict *graph.Labels, leaves int) *graph.Graph {
+	g := graph.New(leaves + 1)
+	g.AddVertex(dict.Intern("HUB"))
+	for i := 0; i < leaves; i++ {
+		g.AddVertex(dict.Intern("L"))
+		g.MustAddEdge(0, i+1, dict.Intern("x"))
+	}
+	return g
+}
+
+func TestLeadingEigenvectorPath3(t *testing.T) {
+	dict := graph.NewLabels()
+	vec, lambda := LeadingEigenvector(path3(dict), PowerIterOptions{})
+	// P3 adjacency spectrum: λmax = √2, eigenvector ∝ (1, √2, 1).
+	if math.Abs(lambda-math.Sqrt2) > 1e-6 {
+		t.Fatalf("λ = %v, want √2", lambda)
+	}
+	want := []float64{0.5, math.Sqrt2 / 2, 0.5}
+	for i := range want {
+		if math.Abs(vec[i]-want[i]) > 1e-6 {
+			t.Fatalf("vec = %v, want %v", vec, want)
+		}
+	}
+}
+
+func TestLeadingEigenvectorBipartiteConverges(t *testing.T) {
+	dict := graph.NewLabels()
+	// A single edge is bipartite: plain power iteration on A oscillates,
+	// the +I shift must converge to (1,1)/√2 with λ = 1.
+	g := graph.New(2)
+	g.AddVertex(dict.Intern("A"))
+	g.AddVertex(dict.Intern("B"))
+	g.MustAddEdge(0, 1, dict.Intern("x"))
+	vec, lambda := LeadingEigenvector(g, PowerIterOptions{})
+	if math.Abs(lambda-1) > 1e-8 {
+		t.Fatalf("λ = %v, want 1", lambda)
+	}
+	if math.Abs(vec[0]-vec[1]) > 1e-8 || math.Abs(vec[0]-1/math.Sqrt2) > 1e-8 {
+		t.Fatalf("vec = %v", vec)
+	}
+}
+
+func TestLeadingEigenvectorEmptyAndIsolated(t *testing.T) {
+	vec, lambda := LeadingEigenvector(graph.New(0), PowerIterOptions{})
+	if vec != nil || lambda != 0 {
+		t.Fatal("empty graph should yield nil vector")
+	}
+	dict := graph.NewLabels()
+	g := graph.New(3)
+	for i := 0; i < 3; i++ {
+		g.AddVertex(dict.Intern("A"))
+	}
+	vec, lambda = LeadingEigenvector(g, PowerIterOptions{})
+	if math.Abs(lambda) > 1e-9 {
+		t.Fatalf("edgeless graph λ = %v, want 0", lambda)
+	}
+	for _, v := range vec {
+		if math.Abs(v-1/math.Sqrt(3)) > 1e-9 {
+			t.Fatalf("edgeless eigenvector not uniform: %v", vec)
+		}
+	}
+}
+
+func TestOrderPutsHubFirst(t *testing.T) {
+	dict := graph.NewLabels()
+	g := star(dict, 6)
+	order := Order(g)
+	if order[0] != 0 {
+		t.Fatalf("star hub not first in seriation order: %v", order)
+	}
+	if len(order) != 7 {
+		t.Fatalf("order length %d", len(order))
+	}
+	seen := make([]bool, 7)
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("order is not a permutation: %v", order)
+		}
+		seen[v] = true
+	}
+}
+
+func TestOrderDeterministic(t *testing.T) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(8))
+	g := randomGraph(rng, dict, 12)
+	a := Order(g)
+	b := Order(g)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Order not deterministic")
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand, dict *graph.Labels, n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.AddVertex(dict.Intern(string(rune('A' + rng.Intn(3)))))
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, dict.Intern(string(rune('a'+rng.Intn(3)))))
+		}
+	}
+	return g
+}
+
+func TestEstimateIdenticalGraphsZero(t *testing.T) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		g := randomGraph(rng, dict, 3+rng.Intn(10))
+		if d := EstimateGED(g, g.Clone()); d != 0 {
+			t.Fatalf("EstimateGED(G,G) = %v", d)
+		}
+	}
+}
+
+func TestQuickEstimateSymmetricNonNegative(t *testing.T) {
+	dict := graph.NewLabels()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomGraph(rng, dict, 1+rng.Intn(10))
+		b := randomGraph(rng, dict, 1+rng.Intn(10))
+		d1 := EstimateGED(a, b)
+		d2 := EstimateGED(b, a)
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateGrowsWithDivergence(t *testing.T) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(10))
+	g := randomGraph(rng, dict, 10)
+	light := g.Clone()
+	light.RelabelVertex(0, dict.Intern("ZZ"))
+	heavy := g.Clone()
+	for v := 0; v < heavy.NumVertices(); v++ {
+		heavy.RelabelVertex(v, dict.Intern("ZZ"))
+	}
+	dl := EstimateGED(g, light)
+	dh := EstimateGED(g, heavy)
+	if dl <= 0 {
+		t.Fatalf("one relabel estimated %v", dl)
+	}
+	if dh <= dl {
+		t.Fatalf("full relabel (%v) not larger than single (%v)", dh, dl)
+	}
+}
+
+func TestEstimateSizeDifference(t *testing.T) {
+	dict := graph.NewLabels()
+	small := graph.New(1)
+	small.AddVertex(dict.Intern("A"))
+	big := star(dict, 5)
+	// Aligning 1 vertex against 6 forces ≥ 5 insertions.
+	if d := EstimateGED(small, big); d < 5 {
+		t.Fatalf("estimate %v below minimum insertions", d)
+	}
+}
+
+func TestEstimateGEDIntRounds(t *testing.T) {
+	dict := graph.NewLabels()
+	a := path3(dict)
+	b := a.Clone()
+	if err := b.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := EstimateGEDInt(a, b); got < 1 {
+		t.Fatalf("EstimateGEDInt = %d, want ≥ 1", got)
+	}
+}

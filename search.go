@@ -1,0 +1,381 @@
+package gsim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"gsim/internal/branch"
+	"gsim/internal/core"
+	"gsim/internal/db"
+	"gsim/internal/ged"
+	"gsim/internal/index"
+	"gsim/internal/lsap"
+	"gsim/internal/seriation"
+)
+
+// Method selects the similarity-search algorithm.
+type Method int
+
+const (
+	// GBDA is the paper's Algorithm 1: the probabilistic GED-from-GBD
+	// posterior thresholded at γ.
+	GBDA Method = iota
+	// GBDAV1 replaces the pair size |V'1| with the average vertex count
+	// of an α-graph sample (Section VII-D).
+	GBDAV1
+	// GBDAV2 observes the weighted VGBD of Eq. (26) instead of GBD.
+	GBDAV2
+	// LSAP filters by the exact branch-LSAP lower bound of Riesen &
+	// Bunke [11]: complete recall, O(n³) per pair, O(n²) memory.
+	LSAP
+	// GreedySort is Greedy-Sort-GED [12]: a greedy O(n² log n²) LSAP
+	// whose induced edit path estimates GED (no bound).
+	GreedySort
+	// Seriation is the spectral baseline of Robles-Kelly & Hancock [13].
+	Seriation
+	// Exact verifies every pair with A* GED — NP-hard, tiny graphs only.
+	Exact
+	// Hybrid runs the GBDA filter and then verifies small candidates
+	// with exact A*, the filter-verify extension of Section VIII-A.
+	Hybrid
+)
+
+// String names the method as in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case GBDA:
+		return "GBDA"
+	case GBDAV1:
+		return "GBDA-V1"
+	case GBDAV2:
+		return "GBDA-V2"
+	case LSAP:
+		return "LSAP"
+	case GreedySort:
+		return "greedysort"
+	case Seriation:
+		return "seriation"
+	case Exact:
+		return "exact"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// SearchOptions parameterises Search. The zero value runs plain GBDA with
+// τ̂ = 3, γ = 0.9.
+type SearchOptions struct {
+	Method Method
+	// Tau is the similarity threshold τ̂ of the problem statement.
+	Tau int
+	// Gamma is the probability threshold γ of Algorithm 1 (GBDA family
+	// and Hybrid only).
+	Gamma float64
+	// Workers bounds scan parallelism (≤ 0: GOMAXPROCS).
+	Workers int
+	// V1Sample is the α of GBDA-V1 (default 50).
+	V1Sample int
+	// V2Weight is the w of GBDA-V2 (default 0.5).
+	V2Weight float64
+	// BaselineMaxVertices guards the quadratic-memory baselines: pairs
+	// larger than this abort with ErrTooLarge, reproducing the paper's
+	// observation that the competitors exhaust 128 GB beyond 20K
+	// vertices (default 20000).
+	BaselineMaxVertices int
+	// ExactBudget caps A* expansions per pair in Exact/Hybrid modes
+	// (default 2e6).
+	ExactBudget int
+	// HybridVerifyMax bounds the pair size Hybrid verifies exactly;
+	// larger candidates keep their GBDA decision (default 12, the A*
+	// feasibility limit the paper reports).
+	HybridVerifyMax int
+	// CollectAll returns every scanned graph with its score instead of
+	// applying the τ̂/γ decision, leaving thresholding to the caller.
+	// The experiment harness uses this to sweep thresholds over one
+	// scored scan. Not supported by the Exact and Hybrid methods, whose
+	// scores are only resolved up to the threshold.
+	CollectAll bool
+	// Prefilter applies the layered admissible index (size, label and
+	// branch lower bounds; see internal/index) before the per-pair
+	// method. Pruned graphs provably violate GED ≤ τ̂, so recall is
+	// untouched; for the probabilistic GBDA family the filter can only
+	// remove false positives. Incompatible with CollectAll (pruned
+	// graphs have no score).
+	Prefilter bool
+}
+
+func (o SearchOptions) withDefaults() SearchOptions {
+	if o.Tau <= 0 {
+		o.Tau = 3
+	}
+	if o.Gamma <= 0 {
+		o.Gamma = 0.9
+	}
+	if o.V1Sample <= 0 {
+		o.V1Sample = 50
+	}
+	if o.V2Weight <= 0 {
+		o.V2Weight = 0.5
+	}
+	if o.BaselineMaxVertices <= 0 {
+		o.BaselineMaxVertices = 20000
+	}
+	if o.ExactBudget <= 0 {
+		o.ExactBudget = 2_000_000
+	}
+	if o.HybridVerifyMax <= 0 {
+		o.HybridVerifyMax = 12
+	}
+	return o
+}
+
+// ErrTooLarge reports that a baseline method refused a pair whose cost
+// matrix (or spectral representation) would exceed the memory wall the
+// paper measured on its 128 GB machine.
+var ErrTooLarge = fmt.Errorf("gsim: graph too large for this baseline (raise BaselineMaxVertices)")
+
+// Match is one search hit.
+type Match struct {
+	// Index is the collection index of the matched graph.
+	Index int
+	// Name is the matched graph's name.
+	Name string
+	// Score is the GBDA posterior Φ for the GBDA family and Hybrid, and
+	// the estimated (or bounded) edit distance for the baselines.
+	Score float64
+}
+
+// Result is the outcome of one query.
+type Result struct {
+	Method  Method
+	Matches []Match
+	// Scanned counts database graphs examined.
+	Scanned int
+	// Elapsed is the wall-clock query time (the paper's Figures 7–9).
+	Elapsed time.Duration
+}
+
+// Indexes returns the matched collection indexes, sorted ascending.
+func (r *Result) Indexes() []int {
+	out := make([]int, len(r.Matches))
+	for i, m := range r.Matches {
+		out[i] = m.Index
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Search runs the selected method for query q over the active graphs.
+func (d *Database) Search(q *Query, opt SearchOptions) (*Result, error) {
+	opt = opt.withDefaults()
+	if opt.CollectAll && (opt.Method == Exact || opt.Method == Hybrid) {
+		return nil, fmt.Errorf("gsim: CollectAll is not supported by the %v method", opt.Method)
+	}
+	if opt.CollectAll && opt.Prefilter {
+		return nil, fmt.Errorf("gsim: CollectAll and Prefilter are mutually exclusive")
+	}
+	start := time.Now()
+	idx := d.activeIndexes()
+
+	var include func(i int, e *db.Entry) (bool, float64, error)
+	switch opt.Method {
+	case GBDA, GBDAV1, GBDAV2:
+		if !d.HasPriors() {
+			return nil, ErrNoPriors
+		}
+		if opt.Tau > d.tauMax {
+			return nil, fmt.Errorf("gsim: tau %d exceeds prior ceiling %d; rebuild priors with a larger TauMax", opt.Tau, d.tauMax)
+		}
+		s := &core.Searcher{WS: d.ws, GBD: d.gbdPrior}
+		switch opt.Method {
+		case GBDAV1:
+			s.FixedV = d.avgActiveSize(opt.V1Sample, 1)
+		case GBDAV2:
+			s.Weight = opt.V2Weight
+		}
+		include = func(i int, e *db.Entry) (bool, float64, error) {
+			vmax := maxInt(q.NumVertices(), e.G.NumVertices())
+			if opt.Method == GBDAV2 {
+				inter := branch.IntersectSize(q.branches, e.Branches)
+				post := s.PosteriorVGBDTau(vmax, inter, opt.Tau)
+				return opt.CollectAll || post >= opt.Gamma, post, nil
+			}
+			phi := branch.GBD(q.branches, e.Branches)
+			post := s.PosteriorTau(vmax, phi, opt.Tau)
+			return opt.CollectAll || post >= opt.Gamma, post, nil
+		}
+	case LSAP:
+		include = func(i int, e *db.Entry) (bool, float64, error) {
+			if maxInt(q.NumVertices(), e.G.NumVertices()) > opt.BaselineMaxVertices {
+				return false, 0, ErrTooLarge
+			}
+			lb := lsap.LowerBound(q.g, e.G)
+			return opt.CollectAll || lb <= float64(opt.Tau)+1e-9, lb, nil
+		}
+	case GreedySort:
+		include = func(i int, e *db.Entry) (bool, float64, error) {
+			if maxInt(q.NumVertices(), e.G.NumVertices()) > opt.BaselineMaxVertices {
+				return false, 0, ErrTooLarge
+			}
+			est := lsap.GreedyEstimateGED(q.g, e.G)
+			return opt.CollectAll || est <= opt.Tau, float64(est), nil
+		}
+	case Seriation:
+		include = func(i int, e *db.Entry) (bool, float64, error) {
+			if maxInt(q.NumVertices(), e.G.NumVertices()) > opt.BaselineMaxVertices {
+				return false, 0, ErrTooLarge
+			}
+			est := seriation.EstimateGEDInt(q.g, e.G)
+			return opt.CollectAll || est <= opt.Tau, float64(est), nil
+		}
+	case Exact:
+		include = func(i int, e *db.Entry) (bool, float64, error) {
+			r, err := ged.Compute(q.g, e.G, ged.Options{MaxExpansions: opt.ExactBudget, Limit: opt.Tau})
+			if err == ged.ErrOverLimit {
+				return false, float64(r.LowerBound), nil // proved GED > τ̂
+			}
+			if err != nil {
+				return false, 0, fmt.Errorf("exact GED on %q: %w", e.G.Name, err)
+			}
+			return r.Distance <= opt.Tau, float64(r.Distance), nil
+		}
+	case Hybrid:
+		if !d.HasPriors() {
+			return nil, ErrNoPriors
+		}
+		if opt.Tau > d.tauMax {
+			return nil, fmt.Errorf("gsim: tau %d exceeds prior ceiling %d; rebuild priors with a larger TauMax", opt.Tau, d.tauMax)
+		}
+		s := &core.Searcher{WS: d.ws, GBD: d.gbdPrior}
+		include = func(i int, e *db.Entry) (bool, float64, error) {
+			vmax := maxInt(q.NumVertices(), e.G.NumVertices())
+			phi := branch.GBD(q.branches, e.Branches)
+			post := s.PosteriorTau(vmax, phi, opt.Tau)
+			if post < opt.Gamma {
+				return false, post, nil
+			}
+			if vmax > opt.HybridVerifyMax {
+				return true, post, nil // too large to verify: trust the filter
+			}
+			r, err := ged.Compute(q.g, e.G, ged.Options{MaxExpansions: opt.ExactBudget, Limit: opt.Tau})
+			if err == ged.ErrOverLimit {
+				return false, float64(r.LowerBound), nil // false positive removed
+			}
+			if err != nil {
+				return true, post, nil // budget blown: keep the filter decision
+			}
+			return r.Distance <= opt.Tau, float64(r.Distance), nil
+		}
+	default:
+		return nil, fmt.Errorf("gsim: unknown method %v", opt.Method)
+	}
+
+	if opt.Prefilter {
+		inner := include
+		ix := d.prefilterIndex()
+		qs := index.Summarize(q.g)
+		include = func(i int, e *db.Entry) (bool, float64, error) {
+			if ix.Prunable(qs, q.branches, i, opt.Tau) {
+				return false, 0, nil
+			}
+			return inner(i, e)
+		}
+	}
+
+	matches, scanned, err := d.scan(idx, opt.Workers, include)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Method:  opt.Method,
+		Matches: matches,
+		Scanned: scanned,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// scan applies include over the active subset with a worker pool, keeping
+// the first error and collecting matches in index order.
+func (d *Database) scan(idx []int, workers int, include func(int, *db.Entry) (bool, float64, error)) ([]Match, int, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+	type hit struct {
+		pos   int
+		match Match
+	}
+	var (
+		mu      sync.Mutex
+		hits    []hit
+		firstMu sync.Mutex
+		first   error
+		next    int
+		wg      sync.WaitGroup
+	)
+	if workers < 1 {
+		workers = 1
+	}
+	worker := func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			pos := next
+			next++
+			mu.Unlock()
+			if pos >= len(idx) {
+				return
+			}
+			firstMu.Lock()
+			failed := first != nil
+			firstMu.Unlock()
+			if failed {
+				return
+			}
+			i := idx[pos]
+			e := d.col.Entry(i)
+			ok, score, err := include(i, e)
+			if err != nil {
+				firstMu.Lock()
+				if first == nil {
+					first = err
+				}
+				firstMu.Unlock()
+				return
+			}
+			if ok {
+				mu.Lock()
+				hits = append(hits, hit{pos, Match{Index: i, Name: e.G.Name, Score: score}})
+				mu.Unlock()
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if first != nil {
+		return nil, 0, first
+	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].pos < hits[b].pos })
+	out := make([]Match, len(hits))
+	for i, h := range hits {
+		out[i] = h.match
+	}
+	return out, len(idx), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

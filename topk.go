@@ -1,0 +1,70 @@
+package gsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopKOptions parameterises SearchTopK.
+type TopKOptions struct {
+	// Method must be a scoring method: the GBDA family (posterior,
+	// higher is more similar) or a baseline estimator (distance, lower
+	// is more similar). Exact and Hybrid are not supported.
+	Method Method
+	// K is the number of results (default 10).
+	K int
+	// Tau dimensions the GBDA posterior (default: the priors' ceiling).
+	Tau int
+	// Workers bounds scan parallelism.
+	Workers int
+	// V1Sample / V2Weight configure the GBDA variants as in Search.
+	V1Sample int
+	V2Weight float64
+	// BaselineMaxVertices guards the quadratic baselines as in Search.
+	BaselineMaxVertices int
+}
+
+// SearchTopK returns the K graphs most similar to q: by descending GBDA
+// posterior for the GBDA family, by ascending estimated distance for the
+// baseline estimators. It is the natural ranking companion to the paper's
+// threshold query and reuses the same scored scan.
+func (d *Database) SearchTopK(q *Query, opt TopKOptions) (*Result, error) {
+	if opt.K <= 0 {
+		opt.K = 10
+	}
+	tau := opt.Tau
+	if tau <= 0 {
+		tau = d.tauMax
+		if tau <= 0 {
+			tau = 10
+		}
+	}
+	switch opt.Method {
+	case GBDA, GBDAV1, GBDAV2, LSAP, GreedySort, Seriation:
+	default:
+		return nil, fmt.Errorf("gsim: SearchTopK does not support the %v method", opt.Method)
+	}
+	res, err := d.Search(q, SearchOptions{
+		Method:              opt.Method,
+		Tau:                 tau,
+		Workers:             opt.Workers,
+		V1Sample:            opt.V1Sample,
+		V2Weight:            opt.V2Weight,
+		BaselineMaxVertices: opt.BaselineMaxVertices,
+		CollectAll:          true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	higherIsBetter := opt.Method == GBDA || opt.Method == GBDAV1 || opt.Method == GBDAV2
+	sort.SliceStable(res.Matches, func(a, b int) bool {
+		if higherIsBetter {
+			return res.Matches[a].Score > res.Matches[b].Score
+		}
+		return res.Matches[a].Score < res.Matches[b].Score
+	})
+	if len(res.Matches) > opt.K {
+		res.Matches = res.Matches[:opt.K]
+	}
+	return res, nil
+}
