@@ -33,7 +33,7 @@ func main() {
 	var (
 		dbPath  = flag.String("db", "", "path to the .gsim database file (required)")
 		qPath   = flag.String("query", "", "path to the .gsim query file")
-		method  = flag.String("method", "gbda", "search method: gbda|gbda-v1|gbda-v2|lsap|greedysort|seriation|exact|hybrid")
+		method  = flag.String("method", "gbda", "search method: "+methodNames())
 		tau     = flag.Int("tau", 3, "similarity threshold τ̂ (GED)")
 		gamma   = flag.Float64("gamma", 0.9, "probability threshold γ (GBDA family)")
 		tauMax  = flag.Int("tau-max", 10, "largest τ̂ the offline priors support")
@@ -87,11 +87,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	m, err := parseMethod(*method)
+	m, err := gsim.ParseMethod(*method)
 	if err != nil {
 		fail(err)
 	}
-	if needsPriors(m) {
+	if m.NeedsPriors() {
 		if *tau > *tauMax {
 			fail(fmt.Errorf("tau %d exceeds -tau-max %d", *tau, *tauMax))
 		}
@@ -138,35 +138,13 @@ func main() {
 	}
 }
 
-func parseMethod(s string) (gsim.Method, error) {
-	switch strings.ToLower(s) {
-	case "gbda":
-		return gsim.GBDA, nil
-	case "gbda-v1", "v1":
-		return gsim.GBDAV1, nil
-	case "gbda-v2", "v2":
-		return gsim.GBDAV2, nil
-	case "lsap":
-		return gsim.LSAP, nil
-	case "greedysort", "greedy":
-		return gsim.GreedySort, nil
-	case "seriation":
-		return gsim.Seriation, nil
-	case "exact":
-		return gsim.Exact, nil
-	case "hybrid":
-		return gsim.Hybrid, nil
-	default:
-		return 0, fmt.Errorf("unknown method %q", s)
+// methodNames renders the registered method list for the -method usage.
+func methodNames() string {
+	var names []string
+	for _, m := range gsim.Methods() {
+		names = append(names, strings.ToLower(m.String()))
 	}
-}
-
-func needsPriors(m gsim.Method) bool {
-	switch m {
-	case gsim.GBDA, gsim.GBDAV1, gsim.GBDAV2, gsim.Hybrid:
-		return true
-	}
-	return false
+	return strings.Join(names, "|")
 }
 
 func fail(err error) {

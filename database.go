@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"sync"
 
 	"gsim/internal/branch"
@@ -12,6 +11,7 @@ import (
 	"gsim/internal/db"
 	"gsim/internal/graph"
 	"gsim/internal/index"
+	"gsim/internal/method"
 )
 
 // Stats re-exports the collection statistics (the shape of Table III).
@@ -29,16 +29,30 @@ type Database struct {
 	ws       *core.Workspace
 	gbdPrior *core.GBDPrior
 
-	ixOnce sync.Once
-	ix     *index.Index
+	ixMu sync.Mutex
+	ix   *index.Index // incremental prefilter index; nil until first use
 }
 
-// prefilterIndex lazily builds the layered admissible filter index over the
-// whole collection. Graphs added after the first prefiltered search are not
-// visible to it; build databases fully before searching with Prefilter.
+// prefilterIndex returns the layered admissible filter index, building it
+// on first use and extending it with summaries for any graphs stored
+// since — so a graph added after a prefiltered search is visible to the
+// next one (the index is versioned by collection length, see
+// index.Synced). Each call publishes an immutable snapshot: an index
+// handed to an in-flight scan is never mutated by a later sync.
 func (d *Database) prefilterIndex() *index.Index {
-	d.ixOnce.Do(func() { d.ix = index.Build(d.col) })
+	d.ixMu.Lock()
+	defer d.ixMu.Unlock()
+	if d.ix == nil {
+		d.ix = index.Build(d.col)
+	} else {
+		d.ix = d.ix.Synced()
+	}
 	return d.ix
+}
+
+// methodView projects the database state scorers prepare against.
+func (d *Database) methodView() *method.DB {
+	return &method.DB{Col: d.col, Active: d.active, WS: d.ws, GBDPrior: d.gbdPrior, TauMax: d.tauMax}
 }
 
 // NewDatabase creates an empty database.
@@ -104,8 +118,9 @@ func (d *Database) LoadBinary(r io.Reader) error {
 	d.ws = nil
 	d.gbdPrior = nil
 	d.tauMax = 0
-	d.ixOnce = sync.Once{}
+	d.ixMu.Lock()
 	d.ix = nil
+	d.ixMu.Unlock()
 	return nil
 }
 
@@ -216,7 +231,7 @@ type OfflineConfig struct {
 }
 
 // ErrNoPriors is returned by GBDA-family searches before BuildPriors.
-var ErrNoPriors = errors.New("gsim: BuildPriors must run before GBDA search")
+var ErrNoPriors = method.ErrNoPriors
 
 // BuildPriors runs the offline stage: it samples graph pairs, computes
 // their GBDs, fits the Gaussian-mixture GBD prior (Λ2, Section V-B) and
@@ -270,28 +285,6 @@ func (d *Database) GEDPriorRow(v int) ([]float64, error) {
 		return nil, ErrNoPriors
 	}
 	return d.ws.Model(v).GEDPrior(), nil
-}
-
-// avgActiveSize returns the rounded average vertex count over a sample of
-// alpha active graphs — the |V'1| surrogate of the GBDA-V1 variant.
-func (d *Database) avgActiveSize(alpha int, seed int64) int {
-	idx := d.activeIndexes()
-	if len(idx) == 0 {
-		return 1
-	}
-	if alpha <= 0 || alpha > len(idx) {
-		alpha = len(idx)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	var sum int
-	for i := 0; i < alpha; i++ {
-		sum += d.col.Graph(idx[rng.Intn(len(idx))]).NumVertices()
-	}
-	v := (sum + alpha/2) / alpha
-	if v < 1 {
-		v = 1
-	}
-	return v
 }
 
 func (d *Database) activeIndexes() []int {

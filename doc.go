@@ -11,12 +11,38 @@
 // Edit Distance for a polynomial-time posterior built on the Graph Branch
 // Distance, a branch-multiset distance computable in O(n·d).
 //
-// The package exposes the full system: graph construction and storage, the
-// offline prior-fitting stage (a Gaussian mixture over sampled GBDs and a
-// Jeffreys prior over GEDs), the online search of Algorithm 1 and its
-// GBDA-V1/GBDA-V2 variants, plus the paper's three competitors (exact-LSAP
-// filtering, Greedy-Sort-GED, spectral graph seriation), exact A* GED, and
-// a hybrid filter-verify mode.
+// # Architecture
+//
+// The query path is three explicit layers, each pluggable on its own:
+//
+//	method registry  →  scan engine  →  consumers
+//
+// Method registry (internal/method). Every similarity algorithm — the
+// GBDA family of Algorithm 1 (GBDA, GBDA-V1, GBDA-V2), the paper's three
+// competitors (exact-LSAP filtering, Greedy-Sort-GED, spectral seriation),
+// exact A* GED, and the hybrid filter-verify mode — is a self-registering
+// Scorer: Prepare validates database state once per search, Score decides
+// one candidate and is called concurrently by the engine. New methods plug
+// in by registration, not by editing a switch.
+//
+// Scan engine (internal/engine). One streaming executor runs every
+// search: chunked atomic work distribution over a worker pool, context
+// cancellation and deadlines, first-error capture, and serialised
+// emission with early stop. The optional admissible prefilter
+// (internal/index) runs inside the scan; its layered size/label/branch
+// lower bounds are incremental — graphs stored after the index is built
+// are summarised on the next prefiltered search, never silently skipped.
+//
+// Consumers. SearchStream feeds matches to a callback as the scan finds
+// them and stops when the callback says so; Search collects the full
+// result; SearchTopK ranks through a bounded K-heap in O(K) memory;
+// SearchBatch amortises preparation across a query workload. All four are
+// thin adapters over the same engine, so cancellation, parallelism and
+// filtering behave identically everywhere.
+//
+// The offline stage (BuildPriors) fits the GBD prior — a Gaussian mixture
+// over sampled pair GBDs — and prepares the per-size Jeffreys priors the
+// posterior integrates over.
 //
 // # Quick start
 //
@@ -31,6 +57,15 @@
 //	q := d.NewGraph("query") // build the query the same way
 //	// ... vertices and edges ...
 //	res, err := d.Search(q.Query(), gsim.SearchOptions{Tau: 3, Gamma: 0.9})
+//
+// Streaming and ranking ride the same scan:
+//
+//	// stop at the first confident hit
+//	d.SearchStream(ctx, query, opt, func(m gsim.Match) bool { return false })
+//	// the 10 most similar graphs, O(10) memory
+//	d.SearchTopK(query, gsim.TopKOptions{Method: gsim.GBDA, K: 10})
+//	// one prepared scorer over a whole workload
+//	d.SearchBatch(ctx, queries, opt)
 //
 // See the examples directory for runnable programs and DESIGN.md for the
 // paper-to-module map.

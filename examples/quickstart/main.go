@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -75,6 +76,20 @@ func main() {
 	for _, m := range exact.Matches {
 		fmt.Printf("  %-14s GED=%.0f\n", m.Name, m.Score)
 	}
+
+	// Streaming: stop the scan at the first acceptable match instead of
+	// collecting everything — the "does anything similar exist?" query.
+	var first gsim.Match
+	_, err = d.SearchStream(context.Background(), q,
+		gsim.SearchOptions{Method: gsim.GBDA, Tau: 2, Gamma: 0.5},
+		func(m gsim.Match) bool {
+			first = m
+			return false // one hit is enough; stop the scan
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first streamed hit: %s (posterior=%.3f)\n", first.Name, first.Score)
 }
 
 func must(err error) {

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gsim/internal/branch"
 	"gsim/internal/graph"
@@ -159,8 +160,7 @@ func (c *Collection) Scan(workers int, fn func(i int, e *Entry)) {
 		}
 		return
 	}
-	var next int64
-	var mu sync.Mutex
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	const chunk = 16
 	for w := 0; w < workers; w++ {
@@ -168,10 +168,7 @@ func (c *Collection) Scan(workers int, fn func(i int, e *Entry)) {
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				lo := int(next)
-				next += chunk
-				mu.Unlock()
+				lo := int(next.Add(chunk)) - chunk
 				if lo >= n {
 					return
 				}

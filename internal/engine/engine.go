@@ -1,0 +1,119 @@
+// Package engine is the streaming scan executor of the search stack. It
+// distributes scan positions over a worker pool with chunked atomic claims
+// (no mutex on the hot path), honours context cancellation and deadlines,
+// captures the first worker error, and serialises emission so consumers —
+// collect-all, bounded top-K heaps, batch drivers — can be written as plain
+// single-threaded callbacks that may stop the scan early.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes one scan.
+type Options struct {
+	// Workers bounds parallelism (≤ 0: GOMAXPROCS).
+	Workers int
+	// Chunk is the number of positions claimed per atomic increment
+	// (≤ 0: 16). Larger chunks amortise the claim for cheap per-item
+	// work; smaller chunks balance skewed workloads.
+	Chunk int
+}
+
+// DefaultChunk is the work-claim granularity when Options.Chunk is unset.
+const DefaultChunk = 16
+
+// Scan processes positions 0..n-1 with a worker pool.
+//
+// process runs concurrently; it returns the item for a position and
+// whether it should be emitted. emit is serialised (never called
+// concurrently) but observes positions in no particular order; returning
+// false stops the scan early without error. A process error or an expired
+// context stops the scan and is returned. The int result counts positions
+// actually processed — n for a complete scan, possibly fewer after an
+// early stop.
+func Scan[T any](ctx context.Context, n int, opt Options, process func(pos int) (T, bool, error), emit func(pos int, item T) bool) (int, error) {
+	if n <= 0 {
+		return 0, ctx.Err()
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := opt.Chunk
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed position
+		scanned  atomic.Int64 // positions fully processed
+		stop     atomic.Bool  // error, cancellation, or emit returned false
+		errOnce  sync.Once
+		firstErr error
+		emitMu   sync.Mutex
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+
+	worker := func() {
+		defer wg.Done()
+		for !stop.Load() {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for pos := lo; pos < hi; pos++ {
+				if stop.Load() {
+					return
+				}
+				item, keep, err := process(pos)
+				if err != nil {
+					fail(err)
+					return
+				}
+				scanned.Add(1)
+				if !keep {
+					continue
+				}
+				emitMu.Lock()
+				if stop.Load() {
+					emitMu.Unlock()
+					return
+				}
+				cont := emit(pos, item)
+				emitMu.Unlock()
+				if !cont {
+					stop.Store(true)
+					return
+				}
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	return int(scanned.Load()), firstErr
+}

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestScanCoversEveryPosition: a full scan must process and emit every
+// position exactly once, at any worker count and across chunk boundaries.
+func TestScanCoversEveryPosition(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		for _, n := range []int{1, 15, 16, 17, 100} {
+			var got []int
+			scanned, err := Scan(context.Background(), n, Options{Workers: workers},
+				func(pos int) (int, bool, error) { return pos * 2, true, nil },
+				func(pos, item int) bool {
+					if item != pos*2 {
+						t.Fatalf("item %d at pos %d", item, pos)
+					}
+					got = append(got, pos)
+					return true
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scanned != n {
+				t.Fatalf("workers=%d n=%d: scanned %d", workers, n, scanned)
+			}
+			sort.Ints(got)
+			for i, pos := range got {
+				if i != pos {
+					t.Fatalf("workers=%d n=%d: emitted %v", workers, n, got)
+				}
+			}
+		}
+	}
+}
+
+// TestScanKeepFilters: positions with keep=false are counted as scanned
+// but never emitted.
+func TestScanKeepFilters(t *testing.T) {
+	var emitted int
+	scanned, err := Scan(context.Background(), 50, Options{Workers: 4},
+		func(pos int) (int, bool, error) { return pos, pos%2 == 0, nil },
+		func(pos, item int) bool { emitted++; return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scanned != 50 || emitted != 25 {
+		t.Fatalf("scanned=%d emitted=%d", scanned, emitted)
+	}
+}
+
+// TestScanFirstError: a process error stops the scan and is returned.
+func TestScanFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Scan(context.Background(), 1000, Options{Workers: 8},
+		func(pos int) (int, bool, error) {
+			if pos == 100 {
+				return 0, false, boom
+			}
+			return pos, true, nil
+		},
+		func(pos, item int) bool { return true })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestScanEarlyStop: emit returning false ends the scan without error and
+// without further emissions.
+func TestScanEarlyStop(t *testing.T) {
+	var emits int
+	scanned, err := Scan(context.Background(), 10_000, Options{Workers: 8},
+		func(pos int) (int, bool, error) { return pos, true, nil },
+		func(pos, item int) bool { emits++; return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emits != 1 {
+		t.Fatalf("emit called %d times after stop", emits)
+	}
+	if scanned > 10_000 {
+		t.Fatalf("scanned %d > n", scanned)
+	}
+}
+
+// TestScanCancelledContext: an already-cancelled context aborts before
+// processing and surfaces context.Canceled.
+func TestScanCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var processed int
+	_, err := Scan(ctx, 1000, Options{Workers: 4},
+		func(pos int) (int, bool, error) { processed++; return pos, true, nil },
+		func(pos, item int) bool { return true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if processed != 0 {
+		t.Fatalf("processed %d positions under a cancelled context", processed)
+	}
+}
+
+// TestScanCancelMidway: cancelling during the scan stops remaining chunks.
+func TestScanCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	scanned, err := Scan(ctx, 100_000, Options{Workers: 4},
+		func(pos int) (int, bool, error) {
+			once.Do(cancel)
+			return pos, true, nil
+		},
+		func(pos, item int) bool { return true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if scanned == 100_000 {
+		t.Fatal("cancellation did not shorten the scan")
+	}
+}
+
+// TestScanEmitSerialised: emit must never run concurrently.
+func TestScanEmitSerialised(t *testing.T) {
+	var busy atomic.Int32
+	var overlapped atomic.Bool
+	_, err := Scan(context.Background(), 5000, Options{Workers: 8},
+		func(pos int) (int, bool, error) { return pos, true, nil },
+		func(pos, item int) bool {
+			if !busy.CompareAndSwap(0, 1) {
+				overlapped.Store(true)
+			}
+			busy.Store(0)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overlapped.Load() {
+		t.Fatal("emit ran concurrently")
+	}
+}
+
+// TestScanEmpty: n ≤ 0 is a clean no-op.
+func TestScanEmpty(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		scanned, err := Scan(context.Background(), n, Options{},
+			func(pos int) (int, bool, error) { return 0, true, fmt.Errorf("must not run") },
+			func(pos, item int) bool { t.Fatal("must not emit"); return false })
+		if err != nil || scanned != 0 {
+			t.Fatalf("n=%d: scanned=%d err=%v", n, scanned, err)
+		}
+	}
+}

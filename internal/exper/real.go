@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -348,17 +349,19 @@ func (r *runner) figEffectReal(id, measure, name string) ([]*Table, error) {
 }
 
 // baselineCounts evaluates a τ̂-independent estimator across all thresholds
-// with one scored scan per query.
+// with one scored scan per query, batched so the scorer is prepared once
+// for the whole workload.
 func (r *runner) baselineCounts(e *realEnv, opt gsim.SearchOptions, taus []int) (map[int]metrics.Counts, error) {
 	out := make(map[int]metrics.Counts, len(taus))
 	opt.CollectAll = true
 	opt.Workers = r.opt.Workers
 	opt.Tau = taus[len(taus)-1]
-	for _, qi := range r.queries(e.ds) {
-		res, err := e.db.Search(e.db.Query(qi), opt)
-		if err != nil {
-			return nil, err
-		}
+	qis := r.queries(e.ds)
+	// SearchBatchFunc keeps one scored scan live at a time — CollectAll
+	// holds a match per database graph, so materialising the whole batch
+	// would cost O(queries × |D|).
+	err := e.db.SearchBatchFunc(context.Background(), r.prepared(e, qis), opt, func(n int, res *gsim.Result) error {
+		qi := qis[n]
 		for _, tau := range taus {
 			var sel []int
 			for _, m := range res.Matches {
@@ -370,8 +373,21 @@ func (r *runner) baselineCounts(e *realEnv, opt gsim.SearchOptions, taus []int) 
 			c.Add(metrics.Evaluate(sel, e.ds.TruthSet(qi, tau)))
 			out[tau] = c
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// prepared materialises the query workload for SearchBatch.
+func (r *runner) prepared(e *realEnv, qis []int) []*gsim.Query {
+	qs := make([]*gsim.Query, len(qis))
+	for i, qi := range qis {
+		qs[i] = e.db.Query(qi)
+	}
+	return qs
 }
 
 // gbdaCounts evaluates a GBDA-family configuration per threshold: the
@@ -391,18 +407,16 @@ func (r *runner) gbdaCounts(e *realEnv, opt gsim.SearchOptions, taus []int) (map
 	return out, nil
 }
 
-// effect runs the search for every query and micro-averages the confusion
-// against the dataset's certified ground truth.
+// effect runs the search for every query in one batch and micro-averages
+// the confusion against the dataset's certified ground truth.
 func (r *runner) effect(e *realEnv, opt gsim.SearchOptions) (metrics.Counts, error) {
 	var agg metrics.Counts
-	for _, qi := range r.queries(e.ds) {
-		res, err := e.db.Search(e.db.Query(qi), opt)
-		if err != nil {
-			return agg, err
-		}
-		agg.Add(metrics.Evaluate(res.Indexes(), e.ds.TruthSet(qi, opt.Tau)))
-	}
-	return agg, nil
+	qis := r.queries(e.ds)
+	err := e.db.SearchBatchFunc(context.Background(), r.prepared(e, qis), opt, func(n int, res *gsim.Result) error {
+		agg.Add(metrics.Evaluate(res.Indexes(), e.ds.TruthSet(qis[n], opt.Tau)))
+		return nil
+	})
+	return agg, err
 }
 
 func pick(c metrics.Counts, measure string) float64 {

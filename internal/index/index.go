@@ -108,6 +108,28 @@ func Build(col *db.Collection) *Index {
 // Len reports the number of indexed graphs.
 func (ix *Index) Len() int { return len(ix.sums) }
 
+// Synced returns an index covering every graph currently in the
+// collection: ix itself when nothing was added since it was built, or a
+// new Index extended with summaries of the added graphs. The receiver is
+// never mutated, so an Index handed to an in-flight scan stays valid
+// while later searches sync past it; the summary list is versioned by its
+// length against the collection, and a no-op sync is O(1). Callers
+// serialise Synced itself (the database layer calls it under its index
+// mutex) because concurrent syncs would summarise the same tail twice.
+func (ix *Index) Synced() *Index {
+	n := ix.col.Len()
+	if len(ix.sums) == n {
+		return ix
+	}
+	// The three-index slice pins capacity so append reallocates instead
+	// of writing into the array a concurrent reader may hold.
+	sums := ix.sums[:len(ix.sums):len(ix.sums)]
+	for i := len(sums); i < n; i++ {
+		sums = append(sums, Summarize(ix.col.Entry(i).G))
+	}
+	return &Index{col: ix.col, sums: sums}
+}
+
 // Summary returns the stored summary of collection entry i.
 func (ix *Index) Summary(i int) Summary { return ix.sums[i] }
 

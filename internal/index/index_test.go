@@ -152,3 +152,39 @@ func TestSummaryMultisetsSorted(t *testing.T) {
 		t.Fatal("summary counts wrong")
 	}
 }
+
+// TestSyncedAppendsNewGraphs: graphs added to the collection after Build
+// become visible through Synced, with the same summaries a fresh Build
+// makes, and without mutating the index an earlier scan may still hold.
+func TestSyncedAppendsNewGraphs(t *testing.T) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(9))
+	col := db.New("sync")
+	for i := 0; i < 5; i++ {
+		col.Add(randomGraph(rng, dict, 3+rng.Intn(5)))
+	}
+	ix := Build(col)
+	if ix.Len() != 5 {
+		t.Fatalf("built %d summaries", ix.Len())
+	}
+	if same := ix.Synced(); same != ix {
+		t.Fatal("no-op sync must return the same index")
+	}
+	for i := 0; i < 3; i++ {
+		col.Add(randomGraph(rng, dict, 3+rng.Intn(5)))
+	}
+	synced := ix.Synced()
+	if ix.Len() != 5 {
+		t.Fatalf("Synced mutated the receiver: len %d", ix.Len())
+	}
+	if synced.Len() != col.Len() {
+		t.Fatalf("synced %d summaries, collection holds %d", synced.Len(), col.Len())
+	}
+	fresh := Build(col)
+	for i := 0; i < col.Len(); i++ {
+		a, b := synced.Summary(i), fresh.Summary(i)
+		if a.V != b.V || a.E != b.E || len(a.VLabels) != len(b.VLabels) || len(a.ELabels) != len(b.ELabels) {
+			t.Fatalf("summary %d diverges after sync: %+v vs %+v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package method
+
+import (
+	"fmt"
+
+	"gsim/internal/branch"
+	"gsim/internal/core"
+	"gsim/internal/db"
+	"gsim/internal/ged"
+)
+
+func init() {
+	Register(Exact, Info{
+		Traits: Traits{Name: "exact", Ascending: true},
+		New:    func() Scorer { return &exactScorer{} },
+	})
+	Register(Hybrid, Info{
+		Traits: Traits{Name: "hybrid", NeedsPriors: true},
+		New:    func() Scorer { return &hybridScorer{} },
+	})
+}
+
+// exactScorer verifies every pair with A* GED — NP-hard, tiny graphs only.
+type exactScorer struct {
+	opt Options
+}
+
+func (x *exactScorer) Prepare(d *DB, opt Options) error {
+	x.opt = opt
+	return nil
+}
+
+func (x *exactScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
+	r, err := ged.Compute(q.G, e.G, ged.Options{MaxExpansions: x.opt.ExactBudget, Limit: x.opt.Tau})
+	if err == ged.ErrOverLimit {
+		return false, float64(r.LowerBound), nil // proved GED > τ̂
+	}
+	if err != nil {
+		return false, 0, fmt.Errorf("exact GED on %q: %w", e.G.Name, err)
+	}
+	return r.Distance <= x.opt.Tau, float64(r.Distance), nil
+}
+
+// hybridScorer runs the GBDA filter and then verifies small candidates with
+// exact A*, the filter-verify extension of Section VIII-A.
+type hybridScorer struct {
+	s   *core.Searcher
+	opt Options
+}
+
+func (h *hybridScorer) Prepare(d *DB, opt Options) error {
+	s, err := preparePosterior(d, opt)
+	if err != nil {
+		return err
+	}
+	h.s, h.opt = s, opt
+	return nil
+}
+
+func (h *hybridScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
+	vmax := maxInt(q.G.NumVertices(), e.G.NumVertices())
+	phi := branch.GBD(q.Branches, e.Branches)
+	post := h.s.PosteriorTau(vmax, phi, h.opt.Tau)
+	if post < h.opt.Gamma {
+		return false, post, nil
+	}
+	if vmax > h.opt.HybridVerifyMax {
+		return true, post, nil // too large to verify: trust the filter
+	}
+	r, err := ged.Compute(q.G, e.G, ged.Options{MaxExpansions: h.opt.ExactBudget, Limit: h.opt.Tau})
+	if err == ged.ErrOverLimit {
+		return false, float64(r.LowerBound), nil // false positive removed
+	}
+	if err != nil {
+		return true, post, nil // budget blown: keep the filter decision
+	}
+	return r.Distance <= h.opt.Tau, float64(r.Distance), nil
+}

@@ -1,0 +1,73 @@
+package method
+
+import (
+	"fmt"
+
+	"gsim/internal/branch"
+	"gsim/internal/core"
+	"gsim/internal/db"
+)
+
+func init() {
+	Register(GBDA, Info{
+		Traits: Traits{Name: "GBDA", NeedsPriors: true, CollectAll: true},
+		New:    func() Scorer { return &gbdaScorer{variant: GBDA} },
+	})
+	Register(GBDAV1, Info{
+		Traits: Traits{Name: "GBDA-V1", Aliases: []string{"v1"}, NeedsPriors: true, CollectAll: true},
+		New:    func() Scorer { return &gbdaScorer{variant: GBDAV1} },
+	})
+	Register(GBDAV2, Info{
+		Traits: Traits{Name: "GBDA-V2", Aliases: []string{"v2"}, NeedsPriors: true, CollectAll: true},
+		New:    func() Scorer { return &gbdaScorer{variant: GBDAV2} },
+	})
+}
+
+// gbdaScorer is the paper's Algorithm 1 — the probabilistic GED-from-GBD
+// posterior thresholded at γ — and its V1 (fixed |V'1|) and V2 (weighted
+// VGBD observation) variants.
+type gbdaScorer struct {
+	variant ID
+	s       *core.Searcher
+	opt     Options
+}
+
+// preparePosterior validates the offline artifacts and builds the shared
+// posterior searcher; the GBDA family and Hybrid both start here.
+func preparePosterior(d *DB, opt Options) (*core.Searcher, error) {
+	if !d.HasPriors() {
+		return nil, ErrNoPriors
+	}
+	if opt.Tau > d.TauMax {
+		return nil, fmt.Errorf("gsim: tau %d exceeds prior ceiling %d; rebuild priors with a larger TauMax", opt.Tau, d.TauMax)
+	}
+	return &core.Searcher{WS: d.WS, GBD: d.GBDPrior}, nil
+}
+
+func (g *gbdaScorer) Prepare(d *DB, opt Options) error {
+	s, err := preparePosterior(d, opt)
+	if err != nil {
+		return err
+	}
+	switch g.variant {
+	case GBDAV1:
+		s.FixedV = d.AvgActiveSize(opt.V1Sample, 1)
+	case GBDAV2:
+		s.Weight = opt.V2Weight
+	}
+	g.s, g.opt = s, opt
+	return nil
+}
+
+func (g *gbdaScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
+	vmax := maxInt(q.G.NumVertices(), e.G.NumVertices())
+	var post float64
+	if g.variant == GBDAV2 {
+		inter := branch.IntersectSize(q.Branches, e.Branches)
+		post = g.s.PosteriorVGBDTau(vmax, inter, g.opt.Tau)
+	} else {
+		phi := branch.GBD(q.Branches, e.Branches)
+		post = g.s.PosteriorTau(vmax, phi, g.opt.Tau)
+	}
+	return g.opt.CollectAll || post >= g.opt.Gamma, post, nil
+}

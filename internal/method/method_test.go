@@ -1,0 +1,113 @@
+package method
+
+import "testing"
+
+// TestRegistryComplete: every paper method must be registered under its
+// stable ID with the figure name the old switch produced.
+func TestRegistryComplete(t *testing.T) {
+	want := map[ID]string{
+		GBDA:       "GBDA",
+		GBDAV1:     "GBDA-V1",
+		GBDAV2:     "GBDA-V2",
+		LSAP:       "LSAP",
+		GreedySort: "greedysort",
+		Seriation:  "seriation",
+		Exact:      "exact",
+		Hybrid:     "hybrid",
+	}
+	if got := len(IDs()); got != len(want) {
+		t.Fatalf("registry holds %d methods, want %d", got, len(want))
+	}
+	for id, name := range want {
+		info, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("method %d not registered", id)
+		}
+		if info.Name != name {
+			t.Fatalf("method %d named %q, want %q", id, info.Name, name)
+		}
+		if info.New == nil {
+			t.Fatalf("method %q has no factory", name)
+		}
+		if info.New() == nil {
+			t.Fatalf("method %q factory returned nil", name)
+		}
+	}
+}
+
+// TestUnknownName renders unregistered IDs without panicking.
+func TestUnknownName(t *testing.T) {
+	if got := Name(ID(99)); got != "Method(99)" {
+		t.Fatalf("Name(99) = %q", got)
+	}
+	if _, ok := Lookup(ID(99)); ok {
+		t.Fatal("Lookup(99) succeeded")
+	}
+}
+
+// TestParseName accepts registered names case-insensitively plus aliases.
+func TestParseName(t *testing.T) {
+	cases := map[string]ID{
+		"gbda":       GBDA,
+		"GBDA":       GBDA,
+		"gbda-v1":    GBDAV1,
+		"v1":         GBDAV1,
+		"Gbda-V2":    GBDAV2,
+		"v2":         GBDAV2,
+		"lsap":       LSAP,
+		"greedysort": GreedySort,
+		"greedy":     GreedySort,
+		"seriation":  Seriation,
+		"exact":      Exact,
+		"hybrid":     Hybrid,
+	}
+	for s, want := range cases {
+		id, ok := ParseName(s)
+		if !ok || id != want {
+			t.Fatalf("ParseName(%q) = %d,%v want %d", s, id, ok, want)
+		}
+	}
+	if _, ok := ParseName("astar"); ok {
+		t.Fatal("ParseName accepted an unknown name")
+	}
+}
+
+// TestTraits: the dispatch properties the consumers rely on.
+func TestTraits(t *testing.T) {
+	for _, id := range []ID{GBDA, GBDAV1, GBDAV2, Hybrid} {
+		if info, _ := Lookup(id); !info.NeedsPriors {
+			t.Errorf("%s must need priors", info.Name)
+		}
+	}
+	for _, id := range []ID{LSAP, GreedySort, Seriation, Exact} {
+		if info, _ := Lookup(id); info.NeedsPriors {
+			t.Errorf("%s must not need priors", info.Name)
+		}
+	}
+	for _, id := range []ID{Exact, Hybrid} {
+		if info, _ := Lookup(id); info.Rankable() || info.CollectAll {
+			t.Errorf("%s must not be rankable/collectable", info.Name)
+		}
+	}
+	for _, id := range []ID{LSAP, GreedySort, Seriation} {
+		if info, _ := Lookup(id); !info.Ascending {
+			t.Errorf("%s must rank ascending (distance)", info.Name)
+		}
+	}
+	for _, id := range []ID{GBDA, GBDAV1, GBDAV2} {
+		if info, _ := Lookup(id); info.Ascending {
+			t.Errorf("%s must rank descending (posterior)", info.Name)
+		}
+	}
+}
+
+// TestPrepareWithoutPriors: the GBDA family fails fast with ErrNoPriors.
+func TestPrepareWithoutPriors(t *testing.T) {
+	d := &DB{}
+	for _, id := range []ID{GBDA, GBDAV1, GBDAV2, Hybrid} {
+		info, _ := Lookup(id)
+		if err := info.New().Prepare(d, Options{Tau: 2}); err != ErrNoPriors {
+			t.Errorf("%s.Prepare without priors: %v, want ErrNoPriors", info.Name, err)
+		}
+	}
+}

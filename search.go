@@ -1,70 +1,72 @@
 package gsim
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
-	"gsim/internal/branch"
-	"gsim/internal/core"
-	"gsim/internal/db"
-	"gsim/internal/ged"
+	"gsim/internal/engine"
 	"gsim/internal/index"
-	"gsim/internal/lsap"
-	"gsim/internal/seriation"
+	"gsim/internal/method"
 )
 
-// Method selects the similarity-search algorithm.
+// Method selects the similarity-search algorithm. Each method is a
+// self-registering scorer in internal/method; the constants mirror the
+// registry IDs.
 type Method int
 
 const (
 	// GBDA is the paper's Algorithm 1: the probabilistic GED-from-GBD
 	// posterior thresholded at γ.
-	GBDA Method = iota
+	GBDA = Method(method.GBDA)
 	// GBDAV1 replaces the pair size |V'1| with the average vertex count
 	// of an α-graph sample (Section VII-D).
-	GBDAV1
+	GBDAV1 = Method(method.GBDAV1)
 	// GBDAV2 observes the weighted VGBD of Eq. (26) instead of GBD.
-	GBDAV2
+	GBDAV2 = Method(method.GBDAV2)
 	// LSAP filters by the exact branch-LSAP lower bound of Riesen &
 	// Bunke [11]: complete recall, O(n³) per pair, O(n²) memory.
-	LSAP
+	LSAP = Method(method.LSAP)
 	// GreedySort is Greedy-Sort-GED [12]: a greedy O(n² log n²) LSAP
 	// whose induced edit path estimates GED (no bound).
-	GreedySort
+	GreedySort = Method(method.GreedySort)
 	// Seriation is the spectral baseline of Robles-Kelly & Hancock [13].
-	Seriation
+	Seriation = Method(method.Seriation)
 	// Exact verifies every pair with A* GED — NP-hard, tiny graphs only.
-	Exact
+	Exact = Method(method.Exact)
 	// Hybrid runs the GBDA filter and then verifies small candidates
 	// with exact A*, the filter-verify extension of Section VIII-A.
-	Hybrid
+	Hybrid = Method(method.Hybrid)
 )
 
 // String names the method as in the paper's figures.
-func (m Method) String() string {
-	switch m {
-	case GBDA:
-		return "GBDA"
-	case GBDAV1:
-		return "GBDA-V1"
-	case GBDAV2:
-		return "GBDA-V2"
-	case LSAP:
-		return "LSAP"
-	case GreedySort:
-		return "greedysort"
-	case Seriation:
-		return "seriation"
-	case Exact:
-		return "exact"
-	case Hybrid:
-		return "hybrid"
-	default:
-		return fmt.Sprintf("Method(%d)", int(m))
+func (m Method) String() string { return method.Name(method.ID(m)) }
+
+// NeedsPriors reports whether the method requires BuildPriors to have run
+// (the GBDA family and Hybrid).
+func (m Method) NeedsPriors() bool {
+	info, ok := method.Lookup(method.ID(m))
+	return ok && info.NeedsPriors
+}
+
+// ParseMethod resolves a method by its case-insensitive registered name
+// ("GBDA", "gbda-v1", "lsap", ...) or alias ("v1", "greedy", ...).
+func ParseMethod(s string) (Method, error) {
+	if id, ok := method.ParseName(s); ok {
+		return Method(id), nil
 	}
+	return 0, fmt.Errorf("gsim: unknown method %q", s)
+}
+
+// Methods lists every registered search method.
+func Methods() []Method {
+	ids := method.IDs()
+	out := make([]Method, len(ids))
+	for i, id := range ids {
+		out[i] = Method(id)
+	}
+	return out
 }
 
 // SearchOptions parameterises Search. The zero value runs plain GBDA with
@@ -134,10 +136,24 @@ func (o SearchOptions) withDefaults() SearchOptions {
 	return o
 }
 
+// methodOptions projects the scorer-visible knobs (defaults applied).
+func (o SearchOptions) methodOptions() method.Options {
+	return method.Options{
+		Tau:                 o.Tau,
+		Gamma:               o.Gamma,
+		V1Sample:            o.V1Sample,
+		V2Weight:            o.V2Weight,
+		BaselineMaxVertices: o.BaselineMaxVertices,
+		ExactBudget:         o.ExactBudget,
+		HybridVerifyMax:     o.HybridVerifyMax,
+		CollectAll:          o.CollectAll,
+	}
+}
+
 // ErrTooLarge reports that a baseline method refused a pair whose cost
 // matrix (or spectral representation) would exceed the memory wall the
 // paper measured on its 128 GB machine.
-var ErrTooLarge = fmt.Errorf("gsim: graph too large for this baseline (raise BaselineMaxVertices)")
+var ErrTooLarge = method.ErrTooLarge
 
 // Match is one search hit.
 type Match struct {
@@ -154,7 +170,8 @@ type Match struct {
 type Result struct {
 	Method  Method
 	Matches []Match
-	// Scanned counts database graphs examined.
+	// Scanned counts database graphs examined (prefilter-pruned graphs
+	// included; an early-stopped stream may count fewer).
 	Scanned int
 	// Elapsed is the wall-clock query time (the paper's Figures 7–9).
 	Elapsed time.Duration
@@ -170,212 +187,121 @@ func (r *Result) Indexes() []int {
 	return out
 }
 
-// Search runs the selected method for query q over the active graphs.
-func (d *Database) Search(q *Query, opt SearchOptions) (*Result, error) {
+// preparedSearch is a validated search ready to run over any number of
+// queries: the scorer is prepared, the active subset snapshotted, and the
+// prefilter index (if requested) synced with the collection. It is the
+// amortisation unit behind Search, SearchStream, SearchTopK and
+// SearchBatch.
+type preparedSearch struct {
+	d      *Database
+	opt    SearchOptions
+	info   method.Info
+	scorer method.Scorer
+	idx    []int        // active collection indexes
+	ix     *index.Index // non-nil iff opt.Prefilter
+}
+
+// prepare validates opt against the database state and readies a scorer.
+func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 	opt = opt.withDefaults()
-	if opt.CollectAll && (opt.Method == Exact || opt.Method == Hybrid) {
+	info, ok := method.Lookup(method.ID(opt.Method))
+	if !ok {
+		return nil, fmt.Errorf("gsim: unknown method %v", opt.Method)
+	}
+	if opt.CollectAll && !info.CollectAll {
 		return nil, fmt.Errorf("gsim: CollectAll is not supported by the %v method", opt.Method)
 	}
 	if opt.CollectAll && opt.Prefilter {
 		return nil, fmt.Errorf("gsim: CollectAll and Prefilter are mutually exclusive")
 	}
-	start := time.Now()
-	idx := d.activeIndexes()
-
-	var include func(i int, e *db.Entry) (bool, float64, error)
-	switch opt.Method {
-	case GBDA, GBDAV1, GBDAV2:
-		if !d.HasPriors() {
-			return nil, ErrNoPriors
-		}
-		if opt.Tau > d.tauMax {
-			return nil, fmt.Errorf("gsim: tau %d exceeds prior ceiling %d; rebuild priors with a larger TauMax", opt.Tau, d.tauMax)
-		}
-		s := &core.Searcher{WS: d.ws, GBD: d.gbdPrior}
-		switch opt.Method {
-		case GBDAV1:
-			s.FixedV = d.avgActiveSize(opt.V1Sample, 1)
-		case GBDAV2:
-			s.Weight = opt.V2Weight
-		}
-		include = func(i int, e *db.Entry) (bool, float64, error) {
-			vmax := maxInt(q.NumVertices(), e.G.NumVertices())
-			if opt.Method == GBDAV2 {
-				inter := branch.IntersectSize(q.branches, e.Branches)
-				post := s.PosteriorVGBDTau(vmax, inter, opt.Tau)
-				return opt.CollectAll || post >= opt.Gamma, post, nil
-			}
-			phi := branch.GBD(q.branches, e.Branches)
-			post := s.PosteriorTau(vmax, phi, opt.Tau)
-			return opt.CollectAll || post >= opt.Gamma, post, nil
-		}
-	case LSAP:
-		include = func(i int, e *db.Entry) (bool, float64, error) {
-			if maxInt(q.NumVertices(), e.G.NumVertices()) > opt.BaselineMaxVertices {
-				return false, 0, ErrTooLarge
-			}
-			lb := lsap.LowerBound(q.g, e.G)
-			return opt.CollectAll || lb <= float64(opt.Tau)+1e-9, lb, nil
-		}
-	case GreedySort:
-		include = func(i int, e *db.Entry) (bool, float64, error) {
-			if maxInt(q.NumVertices(), e.G.NumVertices()) > opt.BaselineMaxVertices {
-				return false, 0, ErrTooLarge
-			}
-			est := lsap.GreedyEstimateGED(q.g, e.G)
-			return opt.CollectAll || est <= opt.Tau, float64(est), nil
-		}
-	case Seriation:
-		include = func(i int, e *db.Entry) (bool, float64, error) {
-			if maxInt(q.NumVertices(), e.G.NumVertices()) > opt.BaselineMaxVertices {
-				return false, 0, ErrTooLarge
-			}
-			est := seriation.EstimateGEDInt(q.g, e.G)
-			return opt.CollectAll || est <= opt.Tau, float64(est), nil
-		}
-	case Exact:
-		include = func(i int, e *db.Entry) (bool, float64, error) {
-			r, err := ged.Compute(q.g, e.G, ged.Options{MaxExpansions: opt.ExactBudget, Limit: opt.Tau})
-			if err == ged.ErrOverLimit {
-				return false, float64(r.LowerBound), nil // proved GED > τ̂
-			}
-			if err != nil {
-				return false, 0, fmt.Errorf("exact GED on %q: %w", e.G.Name, err)
-			}
-			return r.Distance <= opt.Tau, float64(r.Distance), nil
-		}
-	case Hybrid:
-		if !d.HasPriors() {
-			return nil, ErrNoPriors
-		}
-		if opt.Tau > d.tauMax {
-			return nil, fmt.Errorf("gsim: tau %d exceeds prior ceiling %d; rebuild priors with a larger TauMax", opt.Tau, d.tauMax)
-		}
-		s := &core.Searcher{WS: d.ws, GBD: d.gbdPrior}
-		include = func(i int, e *db.Entry) (bool, float64, error) {
-			vmax := maxInt(q.NumVertices(), e.G.NumVertices())
-			phi := branch.GBD(q.branches, e.Branches)
-			post := s.PosteriorTau(vmax, phi, opt.Tau)
-			if post < opt.Gamma {
-				return false, post, nil
-			}
-			if vmax > opt.HybridVerifyMax {
-				return true, post, nil // too large to verify: trust the filter
-			}
-			r, err := ged.Compute(q.g, e.G, ged.Options{MaxExpansions: opt.ExactBudget, Limit: opt.Tau})
-			if err == ged.ErrOverLimit {
-				return false, float64(r.LowerBound), nil // false positive removed
-			}
-			if err != nil {
-				return true, post, nil // budget blown: keep the filter decision
-			}
-			return r.Distance <= opt.Tau, float64(r.Distance), nil
-		}
-	default:
-		return nil, fmt.Errorf("gsim: unknown method %v", opt.Method)
+	scorer := info.New()
+	if err := scorer.Prepare(d.methodView(), opt.methodOptions()); err != nil {
+		return nil, err
 	}
-
+	ps := &preparedSearch{d: d, opt: opt, info: info, scorer: scorer, idx: d.activeIndexes()}
 	if opt.Prefilter {
-		inner := include
-		ix := d.prefilterIndex()
-		qs := index.Summarize(q.g)
-		include = func(i int, e *db.Entry) (bool, float64, error) {
-			if ix.Prunable(qs, q.branches, i, opt.Tau) {
-				return false, 0, nil
-			}
-			return inner(i, e)
-		}
+		ps.ix = d.prefilterIndex()
 	}
+	return ps, nil
+}
 
-	matches, scanned, err := d.scan(idx, opt.Workers, include)
+// stream scans the active subset for one query, feeding every kept match
+// to emit (serialised, position-tagged, unordered). It returns the number
+// of graphs examined.
+func (ps *preparedSearch) stream(ctx context.Context, q *Query, emit func(pos int, m Match) bool) (int, error) {
+	mq := &method.Query{G: q.g, Branches: q.branches}
+	var qs index.Summary
+	if ps.ix != nil {
+		qs = index.Summarize(q.g)
+	}
+	process := func(pos int) (Match, bool, error) {
+		i := ps.idx[pos]
+		if ps.ix != nil && ps.ix.Prunable(qs, q.branches, i, ps.opt.Tau) {
+			return Match{}, false, nil
+		}
+		e := ps.d.col.Entry(i)
+		keep, score, err := ps.scorer.Score(mq, e)
+		if err != nil {
+			return Match{}, false, err
+		}
+		return Match{Index: i, Name: e.G.Name, Score: score}, keep, nil
+	}
+	return engine.Scan(ctx, len(ps.idx), engine.Options{Workers: ps.opt.Workers}, process, emit)
+}
+
+// collect runs one query to completion and gathers matches in scan order.
+func (ps *preparedSearch) collect(ctx context.Context, q *Query) (*Result, error) {
+	start := time.Now()
+	type hit struct {
+		pos int
+		m   Match
+	}
+	var hits []hit
+	scanned, err := ps.stream(ctx, q, func(pos int, m Match) bool {
+		hits = append(hits, hit{pos, m})
+		return true
+	})
 	if err != nil {
 		return nil, err
 	}
+	sort.Slice(hits, func(a, b int) bool { return hits[a].pos < hits[b].pos })
+	matches := make([]Match, len(hits))
+	for i, h := range hits {
+		matches[i] = h.m
+	}
 	return &Result{
-		Method:  opt.Method,
+		Method:  ps.opt.Method,
 		Matches: matches,
 		Scanned: scanned,
 		Elapsed: time.Since(start),
 	}, nil
 }
 
-// scan applies include over the active subset with a worker pool, keeping
-// the first error and collecting matches in index order.
-func (d *Database) scan(idx []int, workers int, include func(int, *db.Entry) (bool, float64, error)) ([]Match, int, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(idx) {
-		workers = len(idx)
-	}
-	type hit struct {
-		pos   int
-		match Match
-	}
-	var (
-		mu      sync.Mutex
-		hits    []hit
-		firstMu sync.Mutex
-		first   error
-		next    int
-		wg      sync.WaitGroup
-	)
-	if workers < 1 {
-		workers = 1
-	}
-	worker := func() {
-		defer wg.Done()
-		for {
-			mu.Lock()
-			pos := next
-			next++
-			mu.Unlock()
-			if pos >= len(idx) {
-				return
-			}
-			firstMu.Lock()
-			failed := first != nil
-			firstMu.Unlock()
-			if failed {
-				return
-			}
-			i := idx[pos]
-			e := d.col.Entry(i)
-			ok, score, err := include(i, e)
-			if err != nil {
-				firstMu.Lock()
-				if first == nil {
-					first = err
-				}
-				firstMu.Unlock()
-				return
-			}
-			if ok {
-				mu.Lock()
-				hits = append(hits, hit{pos, Match{Index: i, Name: e.G.Name, Score: score}})
-				mu.Unlock()
-			}
-		}
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go worker()
-	}
-	wg.Wait()
-	if first != nil {
-		return nil, 0, first
-	}
-	sort.Slice(hits, func(a, b int) bool { return hits[a].pos < hits[b].pos })
-	out := make([]Match, len(hits))
-	for i, h := range hits {
-		out[i] = h.match
-	}
-	return out, len(idx), nil
+// Search runs the selected method for query q over the active graphs.
+func (d *Database) Search(q *Query, opt SearchOptions) (*Result, error) {
+	return d.SearchContext(context.Background(), q, opt)
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// SearchContext is Search with cancellation: an expired or cancelled
+// context aborts the scan and returns the context error.
+func (d *Database) SearchContext(ctx context.Context, q *Query, opt SearchOptions) (*Result, error) {
+	ps, err := d.prepare(opt)
+	if err != nil {
+		return nil, err
 	}
-	return b
+	return ps.collect(ctx, q)
+}
+
+// SearchStream runs the selected method for query q, calling yield once
+// per match as the scan produces it. Matches arrive in no particular
+// order; yield is never called concurrently. Returning false stops the
+// scan early without error — the "first hit" and pagination primitive the
+// collecting consumers are built on. SearchStream returns the number of
+// graphs examined.
+func (d *Database) SearchStream(ctx context.Context, q *Query, opt SearchOptions, yield func(Match) bool) (int, error) {
+	ps, err := d.prepare(opt)
+	if err != nil {
+		return 0, err
+	}
+	return ps.stream(ctx, q, func(_ int, m Match) bool { return yield(m) })
 }

@@ -1,15 +1,21 @@
 package gsim
 
 import (
+	"container/heap"
+	"context"
 	"fmt"
 	"sort"
+	"time"
+
+	"gsim/internal/method"
 )
 
 // TopKOptions parameterises SearchTopK.
 type TopKOptions struct {
 	// Method must be a scoring method: the GBDA family (posterior,
 	// higher is more similar) or a baseline estimator (distance, lower
-	// is more similar). Exact and Hybrid are not supported.
+	// is more similar). Exact and Hybrid are not supported — their
+	// scores are only resolved up to the threshold, so they cannot rank.
 	Method Method
 	// K is the number of results (default 10).
 	K int
@@ -27,8 +33,18 @@ type TopKOptions struct {
 // SearchTopK returns the K graphs most similar to q: by descending GBDA
 // posterior for the GBDA family, by ascending estimated distance for the
 // baseline estimators. It is the natural ranking companion to the paper's
-// threshold query and reuses the same scored scan.
+// threshold query and consumes the same streaming scan, holding at most K
+// matches in a bounded heap instead of materialising the scored database.
+//
+// The ranking is deterministic across worker counts: equal scores order by
+// ascending collection index, both inside the result and at the K-th
+// boundary.
 func (d *Database) SearchTopK(q *Query, opt TopKOptions) (*Result, error) {
+	return d.SearchTopKContext(context.Background(), q, opt)
+}
+
+// SearchTopKContext is SearchTopK with cancellation.
+func (d *Database) SearchTopKContext(ctx context.Context, q *Query, opt TopKOptions) (*Result, error) {
 	if opt.K <= 0 {
 		opt.K = 10
 	}
@@ -39,12 +55,11 @@ func (d *Database) SearchTopK(q *Query, opt TopKOptions) (*Result, error) {
 			tau = 10
 		}
 	}
-	switch opt.Method {
-	case GBDA, GBDAV1, GBDAV2, LSAP, GreedySort, Seriation:
-	default:
+	info, ok := method.Lookup(method.ID(opt.Method))
+	if !ok || !info.Rankable() {
 		return nil, fmt.Errorf("gsim: SearchTopK does not support the %v method", opt.Method)
 	}
-	res, err := d.Search(q, SearchOptions{
+	ps, err := d.prepare(SearchOptions{
 		Method:              opt.Method,
 		Tau:                 tau,
 		Workers:             opt.Workers,
@@ -56,15 +71,72 @@ func (d *Database) SearchTopK(q *Query, opt TopKOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	higherIsBetter := opt.Method == GBDA || opt.Method == GBDAV1 || opt.Method == GBDAV2
-	sort.SliceStable(res.Matches, func(a, b int) bool {
-		if higherIsBetter {
-			return res.Matches[a].Score > res.Matches[b].Score
-		}
-		return res.Matches[a].Score < res.Matches[b].Score
+	start := time.Now()
+	h := &topKHeap{k: opt.K, ascending: info.Ascending}
+	scanned, err := ps.stream(ctx, q, func(_ int, m Match) bool {
+		h.offer(m)
+		return true
 	})
-	if len(res.Matches) > opt.K {
-		res.Matches = res.Matches[:opt.K]
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Result{
+		Method:  opt.Method,
+		Matches: h.ranked(),
+		Scanned: scanned,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// topKHeap keeps the K best matches seen so far, worst at the root, under
+// the total order (score, collection index): for ascending scorers lower
+// scores rank first, for descending scorers higher scores rank first, and
+// equal scores always rank by ascending index. The total order is what
+// makes the result independent of the arrival order — and hence of the
+// worker count.
+type topKHeap struct {
+	k         int
+	ascending bool
+	items     []Match
+}
+
+// better reports whether a outranks b.
+func (h *topKHeap) better(a, b Match) bool {
+	if a.Score != b.Score {
+		if h.ascending {
+			return a.Score < b.Score
+		}
+		return a.Score > b.Score
+	}
+	return a.Index < b.Index
+}
+
+func (h *topKHeap) Len() int           { return len(h.items) }
+func (h *topKHeap) Less(i, j int) bool { return h.better(h.items[j], h.items[i]) } // worst at root
+func (h *topKHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topKHeap) Push(x interface{}) { h.items = append(h.items, x.(Match)) }
+func (h *topKHeap) Pop() interface{} {
+	last := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return last
+}
+
+// offer admits m if it ranks above the current K-th match.
+func (h *topKHeap) offer(m Match) {
+	if len(h.items) < h.k {
+		heap.Push(h, m)
+		return
+	}
+	if h.better(m, h.items[0]) {
+		h.items[0] = m
+		heap.Fix(h, 0)
+	}
+}
+
+// ranked drains the heap into best-first order.
+func (h *topKHeap) ranked() []Match {
+	out := h.items
+	h.items = nil
+	sort.Slice(out, func(i, j int) bool { return h.better(out[i], out[j]) })
+	return out
 }
