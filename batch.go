@@ -1,20 +1,86 @@
 package gsim
 
-import "context"
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gsim/internal/engine"
+	"gsim/internal/index"
+	"gsim/internal/method"
+)
+
+// BatchStrategy selects how SearchBatch executes a multi-query workload.
+type BatchStrategy int
+
+const (
+	// BatchAuto (the zero value) picks entry-major whenever the scorer
+	// natively shares per-entry work across queries and the search is not
+	// CollectAll — a CollectAll batch holds O(queries × database) matches
+	// under entry-major, where query-major streams one scored scan at a
+	// time. Query-major otherwise.
+	BatchAuto BatchStrategy = iota
+	// BatchQueryMajor pipelines queries one at a time through a hot
+	// engine: the scorer is prepared once, then each query runs a full
+	// parallel scan. Results stream to the caller per query, so peak
+	// memory with SearchBatchFunc is one query's result.
+	BatchQueryMajor
+	// BatchEntryMajor scans database entries once per batch: workers
+	// claim entries, compute each entry's shared representation once
+	// (branch decomposition, seriation order), and score it against every
+	// query before moving on. Methods without native batch support run
+	// through a pairwise adapter with identical results.
+	BatchEntryMajor
+)
+
+// String renders the strategy as accepted by ParseBatchStrategy.
+func (s BatchStrategy) String() string {
+	switch s {
+	case BatchQueryMajor:
+		return "query"
+	case BatchEntryMajor:
+		return "entry"
+	default:
+		return "auto"
+	}
+}
+
+// ParseBatchStrategy resolves a case-insensitive strategy name:
+// "auto", "query" (or "query-major"), "entry" (or "entry-major").
+func ParseBatchStrategy(s string) (BatchStrategy, error) {
+	switch strings.ToLower(s) {
+	case "auto", "":
+		return BatchAuto, nil
+	case "query", "query-major", "querymajor":
+		return BatchQueryMajor, nil
+	case "entry", "entry-major", "entrymajor":
+		return BatchEntryMajor, nil
+	}
+	return 0, fmt.Errorf("gsim: unknown batch strategy %q (want auto, query or entry)", s)
+}
 
 // SearchBatch runs one configured search over a whole query workload,
 // returning one Result per query in input order. Preparation is amortised
 // across the batch: the scorer is validated and prepared once (for GBDA-V1
 // that includes the α-graph size sample), the active subset is snapshotted
 // once, and with Prefilter the admissible index is built/synced once —
-// where a Search loop would redo all of it per query. Each query's scan
-// still uses the full worker pool, so the batch pipelines queries through
-// a hot engine rather than scanning them concurrently.
+// where a Search loop would redo all of it per query.
+//
+// Two execution strategies exist, selected by SearchOptions.BatchStrategy
+// (BatchAuto decides from the scorer and options; see the constants). The
+// entry-major strategy additionally shares per-entry work: every database
+// entry is claimed once per batch and scored against all queries while its
+// representation is hot, instead of being revisited once per query. Both
+// strategies return identical Results, except that under entry-major every
+// Result reports the whole batch scan as its Elapsed — the per-query cost
+// is not separable from a shared scan.
 //
 // SearchBatch retains every Result until the batch completes — with
 // CollectAll that is O(queries × database) matches. Workloads that can
-// consume results one at a time should use SearchBatchFunc and keep peak
-// memory at one query's result.
+// consume results one at a time should use SearchBatchFunc with the
+// query-major strategy and keep peak memory at one query's result.
 //
 // Cancellation applies to the whole batch: when ctx expires mid-batch the
 // partial results are discarded and the context error is returned.
@@ -32,12 +98,20 @@ func (d *Database) SearchBatch(ctx context.Context, queries []*Query, opt Search
 
 // SearchBatchFunc is SearchBatch with a per-query callback instead of a
 // materialised result slice: fn receives each query's index and Result as
-// soon as its scan completes, and only what fn retains stays live. A fn
-// error aborts the rest of the batch and is returned.
+// soon as it is available, and only what fn retains stays live. A fn error
+// aborts the rest of the batch and is returned.
+//
+// Under the query-major strategy fn fires as each query's scan completes,
+// so at most one Result is in flight. Under entry-major all queries share
+// one scan, so every Result materialises before fn sees the first one —
+// the callback's memory benefit only exists query-major.
 func (d *Database) SearchBatchFunc(ctx context.Context, queries []*Query, opt SearchOptions, fn func(i int, res *Result) error) error {
 	ps, err := d.prepare(opt)
 	if err != nil {
 		return err
+	}
+	if bs, ok := ps.batchScorer(); ok {
+		return ps.collectBatch(ctx, queries, bs, fn)
 	}
 	for i, q := range queries {
 		res, err := ps.collect(ctx, q)
@@ -45,6 +119,104 @@ func (d *Database) SearchBatchFunc(ctx context.Context, queries []*Query, opt Se
 			return err
 		}
 		if err := fn(i, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchScorer resolves the batch execution strategy: it returns the
+// entry-major scorer and true when the batch should run entry-major, or
+// false for the query-major pipeline.
+func (ps *preparedSearch) batchScorer() (method.BatchScorer, bool) {
+	switch ps.opt.BatchStrategy {
+	case BatchQueryMajor:
+		return nil, false
+	case BatchEntryMajor:
+		bs, _ := method.AsBatch(ps.scorer)
+		return bs, true
+	default: // BatchAuto
+		if ps.opt.CollectAll {
+			return nil, false
+		}
+		if bs, native := method.AsBatch(ps.scorer); native {
+			return bs, true
+		}
+		return nil, false
+	}
+}
+
+// streamBatch runs one entry-major scan over the active subset: bs is
+// prepared with the whole workload, then every entry's verdict vector is
+// fed to emit (serialised, position-tagged, unordered; the vector is
+// reused, so emit must copy what it retains). With Prefilter, each
+// query's summary is computed once and pruned (query, entry) pairs reach
+// emit as Skip verdicts without touching the scorer — exactly the pairs
+// the query-major path would prune. It returns the number of entries
+// examined.
+func (ps *preparedSearch) streamBatch(ctx context.Context, queries []*Query, bs method.BatchScorer, emit func(pos int, verdicts []method.Verdict) bool) (int, error) {
+	mqs := make([]*method.Query, len(queries))
+	for k, q := range queries {
+		mqs[k] = &method.Query{G: q.g, Branches: q.branches}
+	}
+	if err := bs.PrepareBatch(mqs); err != nil {
+		return 0, err
+	}
+	var sums []index.Summary
+	if ps.ix != nil {
+		sums = make([]index.Summary, len(queries))
+		for k, q := range queries {
+			sums[k] = index.Summarize(q.g)
+		}
+	}
+	process := func(pos int, out []method.Verdict) error {
+		i := ps.idx[pos]
+		for k := range out {
+			out[k] = method.Verdict{Skip: ps.ix != nil && ps.ix.Prunable(sums[k], queries[k].branches, i, ps.opt.Tau)}
+		}
+		return bs.ScoreEntry(ps.d.col.Entry(i), out)
+	}
+	return engine.ScanBatch(ctx, len(ps.idx), len(queries), engine.Options{Workers: ps.opt.Workers}, process, emit)
+}
+
+// collectBatch gathers an entry-major scan into per-query Results (matches
+// in scan order, as collect produces) and hands them to fn in query order.
+func (ps *preparedSearch) collectBatch(ctx context.Context, queries []*Query, bs method.BatchScorer, fn func(i int, res *Result) error) error {
+	start := time.Now()
+	type hit struct {
+		pos int
+		m   Match
+	}
+	hits := make([][]hit, len(queries))
+	scanned, err := ps.streamBatch(ctx, queries, bs, func(pos int, verdicts []method.Verdict) bool {
+		i := ps.idx[pos]
+		e := ps.d.col.Entry(i)
+		for k, v := range verdicts {
+			if v.Skip || !v.Keep {
+				continue
+			}
+			hits[k] = append(hits[k], hit{pos, Match{Index: i, Name: e.G.Name, Score: v.Score}})
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	for k := range queries {
+		qh := hits[k]
+		sort.Slice(qh, func(a, b int) bool { return qh[a].pos < qh[b].pos })
+		matches := make([]Match, len(qh))
+		for i, h := range qh {
+			matches[i] = h.m
+		}
+		res := &Result{
+			Method:  ps.opt.Method,
+			Matches: matches,
+			Scanned: scanned,
+			Elapsed: elapsed,
+		}
+		if err := fn(k, res); err != nil {
 			return err
 		}
 	}

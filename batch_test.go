@@ -1,0 +1,246 @@
+package gsim_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"gsim"
+	"gsim/internal/method"
+)
+
+// batchQueries materialises n queries from the dataset's workload, cycling
+// when the workload is shorter than n.
+func batchQueries(d *gsim.Database, qis []int, n int) []*gsim.Query {
+	out := make([]*gsim.Query, n)
+	for i := range out {
+		out[i] = d.Query(qis[i%len(qis)])
+	}
+	return out
+}
+
+// TestSearchBatchStrategiesAgree: the entry-major and query-major
+// strategies must produce identical Results — same matches, same scores,
+// same scan counts — for every registered method, with and without the
+// prefilter.
+func TestSearchBatchStrategiesAgree(t *testing.T) {
+	ds := tinyDataset(t, 46)
+	d := openDataset(t, ds)
+	queries := batchQueries(d, ds.Queries, len(ds.Queries))
+	for _, m := range gsim.Methods() {
+		for _, prefilter := range []bool{false, true} {
+			opt := gsim.SearchOptions{Method: m, Tau: 3, Gamma: 0.5, Prefilter: prefilter}
+			opt.BatchStrategy = gsim.BatchQueryMajor
+			want, err := d.SearchBatch(context.Background(), queries, opt)
+			if err != nil {
+				t.Fatalf("%v prefilter=%v query-major: %v", m, prefilter, err)
+			}
+			opt.BatchStrategy = gsim.BatchEntryMajor
+			got, err := d.SearchBatch(context.Background(), queries, opt)
+			if err != nil {
+				t.Fatalf("%v prefilter=%v entry-major: %v", m, prefilter, err)
+			}
+			for i := range queries {
+				if !reflect.DeepEqual(got[i].Matches, want[i].Matches) {
+					t.Fatalf("%v prefilter=%v query %d: entry-major %v, query-major %v",
+						m, prefilter, i, got[i].Matches, want[i].Matches)
+				}
+				if got[i].Scanned != want[i].Scanned {
+					t.Fatalf("%v prefilter=%v query %d: entry-major scanned %d, query-major %d",
+						m, prefilter, i, got[i].Scanned, want[i].Scanned)
+				}
+			}
+		}
+	}
+	// CollectAll batches agree too (forced entry-major: auto keeps
+	// CollectAll on the streaming query-major path).
+	for _, m := range []gsim.Method{gsim.GBDA, gsim.Seriation} {
+		opt := gsim.SearchOptions{Method: m, Tau: 3, Gamma: 0.5, CollectAll: true}
+		want, err := d.SearchBatch(context.Background(), queries, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.BatchStrategy = gsim.BatchEntryMajor
+		got, err := d.SearchBatch(context.Background(), queries, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range queries {
+			if !reflect.DeepEqual(got[i].Matches, want[i].Matches) {
+				t.Fatalf("%v CollectAll query %d: strategies disagree", m, i)
+			}
+		}
+	}
+}
+
+// TestSearchBatchEntryMajorSharesEntryWork is the acceptance criterion of
+// the entry-major strategy: on a 64-query batch it must materialise each
+// entry's representation at least 2× less often than the query-major path
+// (it actually pays it once per entry — a 64× reduction).
+func TestSearchBatchEntryMajorSharesEntryWork(t *testing.T) {
+	ds := tinyDataset(t, 47)
+	d := openDataset(t, ds)
+	queries := batchQueries(d, ds.Queries, 64)
+	count := func(strat gsim.BatchStrategy) int64 {
+		var decomps atomic.Int64
+		method.SetDecompCounter(&decomps)
+		defer method.SetDecompCounter(nil)
+		opt := gsim.SearchOptions{Method: gsim.GBDA, Tau: 3, Gamma: 0.5, BatchStrategy: strat}
+		if _, err := d.SearchBatch(context.Background(), queries, opt); err != nil {
+			t.Fatal(err)
+		}
+		return decomps.Load()
+	}
+	qd := count(gsim.BatchQueryMajor)
+	ed := count(gsim.BatchEntryMajor)
+	n := int64(len(ds.DBGraphs))
+	if qd != 64*n {
+		t.Fatalf("query-major decompositions = %d, want %d (64 queries × %d entries)", qd, 64*n, n)
+	}
+	if ed != n {
+		t.Fatalf("entry-major decompositions = %d, want %d (one per entry)", ed, n)
+	}
+	if ed*2 > qd {
+		t.Fatalf("entry-major shares too little: %d decompositions vs query-major %d", ed, qd)
+	}
+}
+
+// TestSearchBatchAutoStrategy: BatchAuto runs entry-major for scorers with
+// native batch support — observable through the shared decomposition count
+// — but keeps CollectAll workloads on the streaming query-major path.
+func TestSearchBatchAutoStrategy(t *testing.T) {
+	ds := tinyDataset(t, 48)
+	d := openDataset(t, ds)
+	queries := batchQueries(d, ds.Queries, 4)
+	n := int64(len(ds.DBGraphs))
+	run := func(opt gsim.SearchOptions) int64 {
+		var decomps atomic.Int64
+		method.SetDecompCounter(&decomps)
+		defer method.SetDecompCounter(nil)
+		if _, err := d.SearchBatch(context.Background(), queries, opt); err != nil {
+			t.Fatal(err)
+		}
+		return decomps.Load()
+	}
+	if got := run(gsim.SearchOptions{Method: gsim.GBDA, Tau: 3, Gamma: 0.5}); got != n {
+		t.Fatalf("auto threshold batch decompositions = %d, want %d (entry-major)", got, n)
+	}
+	if got := run(gsim.SearchOptions{Method: gsim.GBDA, Tau: 3, Gamma: 0.5, CollectAll: true}); got != 4*n {
+		t.Fatalf("auto CollectAll batch decompositions = %d, want %d (query-major)", got, 4*n)
+	}
+}
+
+// TestSearchBatchEntryMajorCancellation: a cancelled context fails an
+// entry-major batch before any result reaches the callback, and a
+// mid-batch cancellation aborts the remaining query-major scans.
+func TestSearchBatchEntryMajorCancellation(t *testing.T) {
+	ds := tinyDataset(t, 49)
+	d := openDataset(t, ds)
+	queries := batchQueries(d, ds.Queries, 4)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := d.SearchBatchFunc(ctx, queries, gsim.SearchOptions{
+		Method: gsim.GBDA, Tau: 3, Gamma: 0.5, BatchStrategy: gsim.BatchEntryMajor,
+	}, func(i int, res *gsim.Result) error {
+		t.Fatal("callback fired under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("entry-major err = %v, want context.Canceled", err)
+	}
+
+	// Query-major: cancel after the first result; the second scan aborts.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	var calls int
+	err = d.SearchBatchFunc(ctx, queries, gsim.SearchOptions{
+		Method: gsim.GBDA, Tau: 3, Gamma: 0.5, BatchStrategy: gsim.BatchQueryMajor,
+	}, func(i int, res *gsim.Result) error {
+		calls++
+		cancel()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-batch err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback fired %d times after mid-batch cancel", calls)
+	}
+}
+
+// TestSearchBatchFuncCallbackErrorAborts: a callback error aborts the rest
+// of the batch on the entry-major path and is returned verbatim.
+func TestSearchBatchFuncCallbackErrorAborts(t *testing.T) {
+	ds := tinyDataset(t, 50)
+	d := openDataset(t, ds)
+	queries := batchQueries(d, ds.Queries, 4)
+	boom := errors.New("consumer failed")
+	var calls int
+	err := d.SearchBatchFunc(context.Background(), queries, gsim.SearchOptions{
+		Method: gsim.GBDA, Tau: 3, Gamma: 0.5, BatchStrategy: gsim.BatchEntryMajor,
+	}, func(i int, res *gsim.Result) error {
+		calls++
+		if i == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the callback error", err)
+	}
+	if calls != 2 {
+		t.Fatalf("callback fired %d times, want 2 (abort after the error)", calls)
+	}
+}
+
+// TestSearchTopKBatchMatchesSearchTopK: the batched ranking must agree
+// with per-query SearchTopK for every rankable method, and reject the
+// methods SearchTopK rejects.
+func TestSearchTopKBatchMatchesSearchTopK(t *testing.T) {
+	ds := tinyDataset(t, 51)
+	d := openDataset(t, ds)
+	queries := batchQueries(d, ds.Queries, len(ds.Queries))
+	for _, m := range []gsim.Method{gsim.GBDA, gsim.GBDAV2, gsim.GreedySort, gsim.Seriation} {
+		opt := gsim.TopKOptions{Method: m, K: 5, Tau: 4}
+		batch, err := d.SearchTopKBatch(context.Background(), queries, opt)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		for i, q := range queries {
+			single, err := d.SearchTopK(q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(batch[i].Matches, single.Matches) {
+				t.Fatalf("%v query %d: batch %v, single %v", m, i, batch[i].Matches, single.Matches)
+			}
+			if batch[i].Scanned != single.Scanned {
+				t.Fatalf("%v query %d: batch scanned %d, single %d", m, i, batch[i].Scanned, single.Scanned)
+			}
+		}
+	}
+	if _, err := d.SearchTopKBatch(context.Background(), queries, gsim.TopKOptions{Method: gsim.Exact, K: 5}); err == nil {
+		t.Fatal("SearchTopKBatch accepted a non-rankable method")
+	}
+}
+
+// TestParseBatchStrategyRoundTrip: every strategy parses from its own
+// rendered name; unknown names are rejected.
+func TestParseBatchStrategyRoundTrip(t *testing.T) {
+	for _, s := range []gsim.BatchStrategy{gsim.BatchAuto, gsim.BatchQueryMajor, gsim.BatchEntryMajor} {
+		got, err := gsim.ParseBatchStrategy(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseBatchStrategy(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := gsim.ParseBatchStrategy("diagonal"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if fmt.Sprint(gsim.BatchEntryMajor) != "entry" {
+		t.Fatalf("BatchEntryMajor renders as %q", gsim.BatchEntryMajor)
+	}
+}

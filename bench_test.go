@@ -1,15 +1,18 @@
 // Benchmarks regenerating the paper's evaluation artifacts: one benchmark
-// per table and figure (see DESIGN.md §3 for the experiment index), plus
-// the ablation benches for the design decisions called out in DESIGN.md.
-// Run everything with:
+// per table and figure (the package overview in doc.go maps the paper's
+// sections to modules; `go run ./cmd/experiments -list` enumerates the
+// artifact ids), plus ablation benches for the repository's own design
+// decisions. Run everything with:
 //
 //	go test -bench=. -benchmem
 //
 // Benchmarks use laptop-sized fixtures; the cmd/experiments tool runs the
-// same artifacts at configurable scale.
+// same artifacts at configurable scale. BenchmarkSearchBatch is the CI
+// benchmark gate's signal (see cmd/benchgate and BENCH_baseline.json).
 package gsim_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -98,6 +101,67 @@ func searchBench(b *testing.B, fx *fixture, opt gsim.SearchOptions) {
 	for i := 0; i < b.N; i++ {
 		if _, err := fx.db.Search(q, opt); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---- batch strategies ----------------------------------------------------
+
+var (
+	batchOnce sync.Once
+	batchFx   *fixture
+)
+
+// batchFixture is the fixed corpus behind BenchmarkSearchBatch and the CI
+// benchmark gate: a deterministic laptop-sized cluster dataset with a
+// query workload deep enough for the 64-query variants.
+func batchFixture(b *testing.B) *fixture {
+	b.Helper()
+	batchOnce.Do(func() {
+		ds, err := dataset.Generate(dataset.Config{
+			Name: "bench-batch", NumGraphs: 160, QueryFraction: 0.45,
+			MinV: 7, MaxV: 10, ExtraPerV: 0.25, ScaleFree: true,
+			LV: 30, LE: 3, PoolSize: 5, ClusterSize: 10, ModSlots: 4,
+			GuardTau: 5, Seed: 1234,
+		})
+		if err != nil {
+			panic(err)
+		}
+		d := gsim.FromCollection(ds.Col, ds.DBGraphs)
+		if err := d.BuildPriors(gsim.OfflineConfig{TauMax: 5, SamplePairs: 4000, Seed: 2}); err != nil {
+			panic(err)
+		}
+		batchFx = &fixture{ds: ds, db: d}
+	})
+	return batchFx
+}
+
+// BenchmarkSearchBatch measures one whole-batch search per iteration at
+// each workload size under both execution strategies — the stable signal
+// the CI bench job gates on (cmd/benchgate vs BENCH_baseline.json).
+func BenchmarkSearchBatch(b *testing.B) {
+	fx := batchFixture(b)
+	for _, nq := range []int{1, 8, 64} {
+		queries := make([]*gsim.Query, nq)
+		for i := range queries {
+			queries[i] = fx.db.Query(fx.ds.Queries[i%len(fx.ds.Queries)])
+		}
+		for _, strat := range []gsim.BatchStrategy{gsim.BatchQueryMajor, gsim.BatchEntryMajor} {
+			b.Run(fmt.Sprintf("queries=%d/strategy=%s", nq, strat), func(b *testing.B) {
+				opt := gsim.SearchOptions{Method: gsim.GBDA, Tau: 3, Gamma: 0.5, BatchStrategy: strat}
+				ctx := context.Background()
+				// One untimed batch warms the per-size models and
+				// Jeffreys priors (offline artifacts, not batch cost).
+				if _, err := fx.db.SearchBatch(ctx, queries, opt); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := fx.db.SearchBatch(ctx, queries, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }
@@ -277,7 +341,7 @@ func BenchmarkFig39_42_SynF1(b *testing.B) {
 	synEffectBench(b, gsim.SearchOptions{Method: gsim.GreedySort, Tau: 20})
 }
 
-// ---- ablations (DESIGN.md §3) ---------------------------------------------
+// ---- ablations -------------------------------------------------------------
 
 // Λ1 with the Eq. 20-23 table reuse vs the naive quadruple sum.
 func BenchmarkAblation_Lambda1Reuse(b *testing.B) {

@@ -1,0 +1,260 @@
+// Command benchgate is the CI benchmark gate: it parses `go test -bench`
+// text output, aggregates repeated runs (-count=N) into a median ns/op per
+// benchmark, writes the fresh numbers as JSON, and compares them against a
+// checked-in baseline — exiting non-zero when any benchmark regresses
+// beyond the threshold.
+//
+// Usage:
+//
+//	go test -bench=BenchmarkSearchBatch -benchmem -count=6 -run '^$' . | tee bench.txt
+//	go run ./cmd/benchgate -bench bench.txt -baseline BENCH_baseline.json -out bench_fresh.json
+//	go run ./cmd/benchgate -bench bench.txt -baseline BENCH_baseline.json -update
+//
+// The default -threshold 0.15 fails the gate when a benchmark's median
+// ns/op exceeds 115% of its baseline. Benchmarks present in the baseline
+// but missing from the fresh run fail the gate (a silently renamed or
+// deleted benchmark would otherwise un-gate itself); fresh benchmarks
+// without a baseline entry are reported and pass. After an intentional
+// performance change, refresh the baseline with -update on hardware
+// comparable to CI and commit the result.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the checked-in benchmark reference. GOOS/GOARCH/CPUs record
+// the measuring environment: absolute ns/op only gates meaningfully
+// against a baseline from comparable hardware, so a mismatch is reported
+// as a loud warning (the numbers still gate — refresh with -update on the
+// gating machine class to calibrate).
+type Baseline struct {
+	Note       string               `json:"note,omitempty"`
+	GOOS       string               `json:"goos,omitempty"`
+	GOARCH     string               `json:"goarch,omitempty"`
+	CPUs       int                  `json:"cpus,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one gated benchmark's reference numbers.
+type Benchmark struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Runs    int     `json:"runs"`
+}
+
+// benchLine matches one result line of `go test -bench` output. The name's
+// trailing -N is the GOMAXPROCS suffix, stripped so baselines port across
+// machines with different core counts.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench collects every run's ns/op per benchmark name.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return out, nil
+}
+
+// median aggregates repeated runs; the middle value shrugs off the stray
+// outlier a loaded CI machine produces.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// summarize folds raw runs into the Baseline shape.
+func summarize(runs map[string][]float64) Baseline {
+	b := Baseline{
+		Note:       "median ns/op per benchmark; refresh with: go run ./cmd/benchgate -update (see cmd/benchgate)",
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Benchmarks: make(map[string]Benchmark, len(runs)),
+	}
+	for name, ns := range runs {
+		b.Benchmarks[name] = Benchmark{NsPerOp: median(ns), Runs: len(ns)}
+	}
+	return b
+}
+
+// regression describes one gate violation.
+type regression struct {
+	name string
+	msg  string
+}
+
+// compare gates fresh medians against the baseline. It returns the
+// violations and a human-readable report of every gated benchmark.
+func compare(base Baseline, fresh Baseline, threshold float64) (violations []regression, report []string) {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ref := base.Benchmarks[name]
+		got, ok := fresh.Benchmarks[name]
+		if !ok {
+			violations = append(violations, regression{name, "present in baseline but missing from this run"})
+			report = append(report, fmt.Sprintf("MISSING %s (baseline %.0f ns/op)", name, ref.NsPerOp))
+			continue
+		}
+		ratio := got.NsPerOp / ref.NsPerOp
+		status := "ok"
+		if ratio > 1+threshold {
+			status = "REGRESSION"
+			violations = append(violations, regression{name,
+				fmt.Sprintf("%.0f ns/op vs baseline %.0f (%.0f%%, limit +%.0f%%)",
+					got.NsPerOp, ref.NsPerOp, (ratio-1)*100, threshold*100)})
+		}
+		report = append(report, fmt.Sprintf("%-10s %s: %.0f ns/op vs %.0f (%+.1f%%)",
+			status, name, got.NsPerOp, ref.NsPerOp, (ratio-1)*100))
+	}
+	extra := make([]string, 0)
+	for name := range fresh.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		report = append(report, fmt.Sprintf("%-10s %s: %.0f ns/op (no baseline entry)", "new", name, fresh.Benchmarks[name].NsPerOp))
+	}
+	return violations, report
+}
+
+// envMismatch describes how the gating environment differs from the one
+// the baseline was measured on ("" when comparable or unrecorded).
+func envMismatch(base, fresh Baseline) string {
+	var diffs []string
+	if base.GOOS != "" && base.GOOS != fresh.GOOS {
+		diffs = append(diffs, fmt.Sprintf("goos %s vs baseline %s", fresh.GOOS, base.GOOS))
+	}
+	if base.GOARCH != "" && base.GOARCH != fresh.GOARCH {
+		diffs = append(diffs, fmt.Sprintf("goarch %s vs baseline %s", fresh.GOARCH, base.GOARCH))
+	}
+	if base.CPUs != 0 && base.CPUs != fresh.CPUs {
+		diffs = append(diffs, fmt.Sprintf("%d CPUs vs baseline %d", fresh.CPUs, base.CPUs))
+	}
+	if len(diffs) == 0 {
+		return ""
+	}
+	return "benchmark environment differs from baseline: " + strings.Join(diffs, ", ")
+}
+
+func loadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return b, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	return b, nil
+}
+
+func writeJSON(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "-", "go test -bench output to gate ('-' = stdin)")
+		basePath  = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSON")
+		outPath   = flag.String("out", "", "write the fresh medians as JSON to this path")
+		threshold = flag.Float64("threshold", 0.15, "fail when ns/op exceeds baseline by this fraction")
+		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *benchPath != "-" {
+		f, err := os.Open(*benchPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	runs, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	fresh := summarize(runs)
+	if *outPath != "" {
+		if err := writeJSON(*outPath, fresh); err != nil {
+			fatal(err)
+		}
+	}
+	if *update {
+		if err := writeJSON(*basePath, fresh); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: baseline %s rewritten with %d benchmarks\n", *basePath, len(fresh.Benchmarks))
+		return
+	}
+	base, err := loadBaseline(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	if warn := envMismatch(base, fresh); warn != "" {
+		fmt.Fprintf(os.Stderr, "benchgate: WARNING: %s — absolute ns/op gates are miscalibrated until the baseline is refreshed with -update on this machine class\n", warn)
+	}
+	violations, report := compare(base, fresh, *threshold)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed beyond +%.0f%%:\n", len(violations), *threshold*100)
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", v.name, v.msg)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within +%.0f%% of baseline\n", len(base.Benchmarks), *threshold*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(2)
+}

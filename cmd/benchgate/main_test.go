@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: gsim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSearchBatch/queries=1/strategy=query-8         	    5812	    203651 ns/op	    6920 B/op	     133 allocs/op
+BenchmarkSearchBatch/queries=1/strategy=query-8         	    6000	    190000 ns/op	    6920 B/op	     133 allocs/op
+BenchmarkSearchBatch/queries=1/strategy=query-8         	    5500	    210000 ns/op	    6920 B/op	     133 allocs/op
+BenchmarkSearchBatch/queries=1/strategy=entry-8         	    6021	    205301 ns/op	    6976 B/op	     135 allocs/op
+PASS
+ok  	gsim	9.299s
+`
+
+// TestParseBench: result lines parse, the GOMAXPROCS suffix is stripped,
+// and repeated -count runs accumulate per name.
+func TestParseBench(t *testing.T) {
+	runs, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := runs["BenchmarkSearchBatch/queries=1/strategy=query"]
+	if len(q) != 3 {
+		t.Fatalf("query runs = %v, want 3 samples", q)
+	}
+	if got := median(q); got != 203651 {
+		t.Fatalf("median = %v, want 203651", got)
+	}
+	e := runs["BenchmarkSearchBatch/queries=1/strategy=entry"]
+	if len(e) != 1 || e[0] != 205301 {
+		t.Fatalf("entry runs = %v", e)
+	}
+	if _, err := parseBench(strings.NewReader("no benchmarks here\n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+// TestMedian: odd and even sample counts.
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+}
+
+// TestEnvMismatch: a baseline from different hardware warns; comparable
+// or unrecorded environments stay quiet.
+func TestEnvMismatch(t *testing.T) {
+	base := Baseline{GOOS: "linux", GOARCH: "amd64", CPUs: 8}
+	if w := envMismatch(base, Baseline{GOOS: "linux", GOARCH: "amd64", CPUs: 8}); w != "" {
+		t.Fatalf("same environment warned: %q", w)
+	}
+	if w := envMismatch(base, Baseline{GOOS: "linux", GOARCH: "amd64", CPUs: 4}); w == "" {
+		t.Fatal("CPU-count mismatch not reported")
+	}
+	if w := envMismatch(Baseline{}, Baseline{GOOS: "linux", GOARCH: "arm64", CPUs: 4}); w != "" {
+		t.Fatalf("unrecorded baseline environment warned: %q", w)
+	}
+}
+
+// TestCompareGate is the gate's contract: within-threshold passes, a
+// deliberate slowdown trips it, and a benchmark vanishing from the fresh
+// run trips it too.
+func TestCompareGate(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkSearchBatch/queries=64/strategy=entry": {NsPerOp: 1000},
+		"BenchmarkSearchBatch/queries=64/strategy=query": {NsPerOp: 2000},
+	}}
+
+	ok := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkSearchBatch/queries=64/strategy=entry": {NsPerOp: 1100}, // +10%: within 15%
+		"BenchmarkSearchBatch/queries=64/strategy=query": {NsPerOp: 1500}, // faster: fine
+	}}
+	if v, _ := compare(base, ok, 0.15); len(v) != 0 {
+		t.Fatalf("within-threshold run tripped the gate: %v", v)
+	}
+
+	slow := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkSearchBatch/queries=64/strategy=entry": {NsPerOp: 2000}, // 2× slowdown
+		"BenchmarkSearchBatch/queries=64/strategy=query": {NsPerOp: 2000},
+	}}
+	v, _ := compare(base, slow, 0.15)
+	if len(v) != 1 || v[0].name != "BenchmarkSearchBatch/queries=64/strategy=entry" {
+		t.Fatalf("2x slowdown not caught: %v", v)
+	}
+
+	missing := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkSearchBatch/queries=64/strategy=entry": {NsPerOp: 1000},
+	}}
+	if v, _ := compare(base, missing, 0.15); len(v) != 1 {
+		t.Fatalf("missing benchmark not caught: %v", v)
+	}
+
+	extra := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkSearchBatch/queries=64/strategy=entry": {NsPerOp: 1000},
+		"BenchmarkSearchBatch/queries=64/strategy=query": {NsPerOp: 2000},
+		"BenchmarkNew/brand-new":                         {NsPerOp: 5},
+	}}
+	v, report := compare(base, extra, 0.15)
+	if len(v) != 0 {
+		t.Fatalf("new benchmark tripped the gate: %v", v)
+	}
+	if len(report) != 3 {
+		t.Fatalf("new benchmark missing from report: %v", report)
+	}
+}

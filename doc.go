@@ -36,9 +36,34 @@
 // Consumers. SearchStream feeds matches to a callback as the scan finds
 // them and stops when the callback says so; Search collects the full
 // result; SearchTopK ranks through a bounded K-heap in O(K) memory;
-// SearchBatch amortises preparation across a query workload. All four are
-// thin adapters over the same engine, so cancellation, parallelism and
+// SearchBatch amortises preparation across a query workload and
+// SearchTopKBatch ranks a whole workload in one pass. All are thin
+// adapters over the same engine, so cancellation, parallelism and
 // filtering behave identically everywhere.
+//
+// # Batch strategies
+//
+// A batch (SearchBatch, SearchBatchFunc, SearchTopKBatch) executes under
+// one of two strategies:
+//
+// Query-major pipelines queries one at a time through a hot engine: the
+// scorer is prepared once, then each query runs a full parallel scan.
+// Results stream to the caller per query, so a SearchBatchFunc consumer
+// holds at most one query's result — the right shape for CollectAll
+// workloads, whose per-query result is the whole scored database.
+//
+// Entry-major flips the loop: workers claim database entries, compute each
+// entry's shared representation once (its branch decomposition stays hot
+// in cache, the seriation baseline seriates it exactly once), and score it
+// against every query in the batch before moving on — entries are scanned
+// once per batch instead of once per query. Methods without native batch
+// support run through a pairwise adapter with identical results.
+//
+// SearchOptions.BatchStrategy selects explicitly; the default BatchAuto
+// picks entry-major whenever the scorer natively shares per-entry work and
+// the search is not CollectAll. Both strategies return identical Results
+// (entry-major reports the shared scan's wall time as every Result's
+// Elapsed).
 //
 // The offline stage (BuildPriors) fits the GBD prior — a Gaussian mixture
 // over sampled pair GBDs — and prepares the per-size Jeffreys priors the
@@ -64,9 +89,11 @@
 //	d.SearchStream(ctx, query, opt, func(m gsim.Match) bool { return false })
 //	// the 10 most similar graphs, O(10) memory
 //	d.SearchTopK(query, gsim.TopKOptions{Method: gsim.GBDA, K: 10})
-//	// one prepared scorer over a whole workload
+//	// one prepared scorer over a whole workload, entries scanned once
 //	d.SearchBatch(ctx, queries, opt)
+//	// the 10 most similar graphs per query, one entry-major pass
+//	d.SearchTopKBatch(ctx, queries, gsim.TopKOptions{Method: gsim.GBDA, K: 10})
 //
-// See the examples directory for runnable programs and DESIGN.md for the
-// paper-to-module map.
+// See the examples directory for runnable programs and README.md for the
+// project overview.
 package gsim

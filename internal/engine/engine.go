@@ -102,9 +102,13 @@ func Scan[T any](ctx context.Context, n int, opt Options, process func(pos int) 
 					return
 				}
 				cont := emit(pos, item)
+				if !cont {
+					// Set under emitMu: a worker waiting on the lock
+					// must see the stop before it can emit again.
+					stop.Store(true)
+				}
 				emitMu.Unlock()
 				if !cont {
-					stop.Store(true)
 					return
 				}
 			}

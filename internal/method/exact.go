@@ -31,6 +31,7 @@ func (x *exactScorer) Prepare(d *DB, opt Options) error {
 }
 
 func (x *exactScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
+	countEntryDecomp()
 	r, err := ged.Compute(q.G, e.G, ged.Options{MaxExpansions: x.opt.ExactBudget, Limit: x.opt.Tau})
 	if err == ged.ErrOverLimit {
 		return false, float64(r.LowerBound), nil // proved GED > τ̂
@@ -58,6 +59,7 @@ func (h *hybridScorer) Prepare(d *DB, opt Options) error {
 }
 
 func (h *hybridScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
+	countEntryDecomp()
 	vmax := maxInt(q.G.NumVertices(), e.G.NumVertices())
 	phi := branch.GBD(q.Branches, e.Branches)
 	post := h.s.PosteriorTau(vmax, phi, h.opt.Tau)

@@ -30,6 +30,7 @@ type gbdaScorer struct {
 	variant ID
 	s       *core.Searcher
 	opt     Options
+	batch   []*Query // workload of an entry-major scan; see PrepareBatch
 }
 
 // preparePosterior validates the offline artifacts and builds the shared
@@ -60,6 +61,12 @@ func (g *gbdaScorer) Prepare(d *DB, opt Options) error {
 }
 
 func (g *gbdaScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
+	countEntryDecomp()
+	keep, post := g.score(q, e)
+	return keep, post, nil
+}
+
+func (g *gbdaScorer) score(q *Query, e *db.Entry) (bool, float64) {
 	vmax := maxInt(q.G.NumVertices(), e.G.NumVertices())
 	var post float64
 	if g.variant == GBDAV2 {
@@ -69,5 +76,32 @@ func (g *gbdaScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
 		phi := branch.GBD(q.Branches, e.Branches)
 		post = g.s.PosteriorTau(vmax, phi, g.opt.Tau)
 	}
-	return g.opt.CollectAll || post >= g.opt.Gamma, post, nil
+	return g.opt.CollectAll || post >= g.opt.Gamma, post
+}
+
+// PrepareBatch captures the workload for entry-major scans.
+func (g *gbdaScorer) PrepareBatch(queries []*Query) error {
+	g.batch = queries
+	return nil
+}
+
+// ScoreEntry scores one entry against every prepared query: the entry's
+// representation (its precomputed branch multiset, kept hot in cache
+// across the whole workload) is visited once per batch, so the
+// decomposition counter fires once per entry — not once per pair as in
+// the query-major Score path.
+func (g *gbdaScorer) ScoreEntry(e *db.Entry, out []Verdict) error {
+	counted := false
+	for k, q := range g.batch {
+		if out[k].Skip {
+			continue
+		}
+		if !counted {
+			countEntryDecomp()
+			counted = true
+		}
+		keep, post := g.score(q, e)
+		out[k] = Verdict{Keep: keep, Score: post}
+	}
+	return nil
 }

@@ -109,6 +109,12 @@ type SearchOptions struct {
 	// remove false positives. Incompatible with CollectAll (pruned
 	// graphs have no score).
 	Prefilter bool
+	// BatchStrategy overrides how SearchBatch and SearchBatchFunc
+	// execute a multi-query workload (see the BatchStrategy constants).
+	// The zero value BatchAuto picks entry-major whenever the scorer
+	// natively shares per-entry work across queries. Single-query
+	// searches ignore it.
+	BatchStrategy BatchStrategy
 }
 
 func (o SearchOptions) withDefaults() SearchOptions {

@@ -45,23 +45,86 @@ func (d *Database) SearchTopK(q *Query, opt TopKOptions) (*Result, error) {
 
 // SearchTopKContext is SearchTopK with cancellation.
 func (d *Database) SearchTopKContext(ctx context.Context, q *Query, opt TopKOptions) (*Result, error) {
+	ps, info, err := d.prepareTopK(&opt)
+	if err != nil {
+		return nil, err
+	}
+	return ps.topK(ctx, q, opt.K, info.Ascending)
+}
+
+// SearchTopKBatch ranks a whole query workload in one pass, returning the
+// K most similar graphs per query in input order. When the scorer shares
+// per-entry work (the GBDA family and the baselines), the batch runs
+// entry-major: every database entry is scanned once and offered to each
+// query's bounded K-heap under the scan's serialised emit, so memory stays
+// O(queries × K) however large the database is. Methods without native
+// batch support fall back to one ranked scan per query. Each Result's
+// Elapsed reports the shared scan's wall-clock time.
+func (d *Database) SearchTopKBatch(ctx context.Context, queries []*Query, opt TopKOptions) ([]*Result, error) {
+	ps, info, err := d.prepareTopK(&opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(queries))
+	bs, native := method.AsBatch(ps.scorer)
+	if !native {
+		for i, q := range queries {
+			if out[i], err = ps.topK(ctx, q, opt.K, info.Ascending); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	start := time.Now()
+	heaps := make([]*topKHeap, len(queries))
+	for k := range heaps {
+		heaps[k] = &topKHeap{k: opt.K, ascending: info.Ascending}
+	}
+	scanned, err := ps.streamBatch(ctx, queries, bs, func(pos int, verdicts []method.Verdict) bool {
+		i := ps.idx[pos]
+		e := ps.d.col.Entry(i)
+		for k, v := range verdicts {
+			if v.Skip || !v.Keep {
+				continue
+			}
+			heaps[k].offer(Match{Index: i, Name: e.G.Name, Score: v.Score})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	for k := range queries {
+		out[k] = &Result{
+			Method:  opt.Method,
+			Matches: heaps[k].ranked(),
+			Scanned: scanned,
+			Elapsed: elapsed,
+		}
+	}
+	return out, nil
+}
+
+// prepareTopK validates a ranking search and readies its scorer, applying
+// the TopK defaults to opt in place.
+func (d *Database) prepareTopK(opt *TopKOptions) (*preparedSearch, method.Info, error) {
 	if opt.K <= 0 {
 		opt.K = 10
 	}
-	tau := opt.Tau
-	if tau <= 0 {
-		tau = d.tauMax
-		if tau <= 0 {
-			tau = 10
+	if opt.Tau <= 0 {
+		opt.Tau = d.tauMax
+		if opt.Tau <= 0 {
+			opt.Tau = 10
 		}
 	}
 	info, ok := method.Lookup(method.ID(opt.Method))
 	if !ok || !info.Rankable() {
-		return nil, fmt.Errorf("gsim: SearchTopK does not support the %v method", opt.Method)
+		return nil, info, fmt.Errorf("gsim: SearchTopK does not support the %v method", opt.Method)
 	}
 	ps, err := d.prepare(SearchOptions{
 		Method:              opt.Method,
-		Tau:                 tau,
+		Tau:                 opt.Tau,
 		Workers:             opt.Workers,
 		V1Sample:            opt.V1Sample,
 		V2Weight:            opt.V2Weight,
@@ -69,10 +132,15 @@ func (d *Database) SearchTopKContext(ctx context.Context, q *Query, opt TopKOpti
 		CollectAll:          true,
 	})
 	if err != nil {
-		return nil, err
+		return nil, info, err
 	}
+	return ps, info, nil
+}
+
+// topK runs one ranked scan through a bounded K-heap.
+func (ps *preparedSearch) topK(ctx context.Context, q *Query, k int, ascending bool) (*Result, error) {
 	start := time.Now()
-	h := &topKHeap{k: opt.K, ascending: info.Ascending}
+	h := &topKHeap{k: k, ascending: ascending}
 	scanned, err := ps.stream(ctx, q, func(_ int, m Match) bool {
 		h.offer(m)
 		return true
@@ -81,7 +149,7 @@ func (d *Database) SearchTopKContext(ctx context.Context, q *Query, opt TopKOpti
 		return nil, err
 	}
 	return &Result{
-		Method:  opt.Method,
+		Method:  ps.opt.Method,
 		Matches: h.ranked(),
 		Scanned: scanned,
 		Elapsed: time.Since(start),
