@@ -174,7 +174,7 @@ func (ps *preparedSearch) streamBatch(ctx context.Context, queries []*Query, bs 
 		for k := range out {
 			out[k] = method.Verdict{Skip: ps.ix != nil && ps.ix.Prunable(sums[k], queries[k].branches, i, ps.opt.Tau)}
 		}
-		return bs.ScoreEntry(ps.d.col.Entry(i), out)
+		return bs.ScoreEntry(ps.entries[i], out)
 	}
 	return engine.ScanBatch(ctx, len(ps.idx), len(queries), engine.Options{Workers: ps.opt.Workers}, process, emit)
 }
@@ -190,7 +190,7 @@ func (ps *preparedSearch) collectBatch(ctx context.Context, queries []*Query, bs
 	hits := make([][]hit, len(queries))
 	scanned, err := ps.streamBatch(ctx, queries, bs, func(pos int, verdicts []method.Verdict) bool {
 		i := ps.idx[pos]
-		e := ps.d.col.Entry(i)
+		e := ps.entries[i]
 		for k, v := range verdicts {
 			if v.Skip || !v.Keep {
 				continue
@@ -215,6 +215,7 @@ func (ps *preparedSearch) collectBatch(ctx context.Context, queries []*Query, bs
 			Matches: matches,
 			Scanned: scanned,
 			Elapsed: elapsed,
+			Epoch:   ps.epoch,
 		}
 		if err := fn(k, res); err != nil {
 			return err

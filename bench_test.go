@@ -12,8 +12,11 @@
 package gsim_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -25,6 +28,7 @@ import (
 	"gsim/internal/metrics"
 	"gsim/internal/prob"
 	"gsim/internal/seriation"
+	"gsim/internal/server"
 )
 
 // ---- fixtures ----------------------------------------------------------
@@ -163,6 +167,65 @@ func BenchmarkSearchBatch(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkServerSearch measures one /v1/search request through the HTTP
+// serving layer, cold (caching disabled: every request pays a full scan)
+// vs hot (the repeated query is served from the epoch-versioned result
+// cache). The pair is the second CI gate signal: cold tracks the serving
+// overhead on top of the library search, hot tracks the cache fast path.
+func BenchmarkServerSearch(b *testing.B) {
+	fx := batchFixture(b)
+	qg := fx.ds.Col.Graph(fx.ds.Queries[0])
+	req := struct {
+		Graph struct {
+			Vertices []string `json:"vertices"`
+			Edges    []struct {
+				U     int    `json:"u"`
+				V     int    `json:"v"`
+				Label string `json:"label"`
+			} `json:"edges"`
+		} `json:"graph"`
+		Tau   int     `json:"tau"`
+		Gamma float64 `json:"gamma"`
+	}{Tau: 3, Gamma: 0.5}
+	for v := 0; v < qg.NumVertices(); v++ {
+		req.Graph.Vertices = append(req.Graph.Vertices, fx.ds.Col.Dict.Name(qg.VertexLabel(v)))
+	}
+	for _, e := range qg.Edges() {
+		req.Graph.Edges = append(req.Graph.Edges, struct {
+			U     int    `json:"u"`
+			V     int    `json:"v"`
+			Label string `json:"label"`
+		}{int(e.U), int(e.V), fx.ds.Col.Dict.Name(e.Label)})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		entries int
+	}{{"cold", 0}, {"hot", 256}} {
+		b.Run("cache="+mode.name, func(b *testing.B) {
+			h := server.New(server.Config{DB: fx.db, CacheEntries: mode.entries}).Handler()
+			// One untimed request warms the offline artifacts (and, hot,
+			// the cache entry itself).
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/search", bytes.NewReader(body)))
+			if rec.Code != 200 {
+				b.Fatalf("warmup status %d: %s", rec.Code, rec.Body.String())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/search", bytes.NewReader(body)))
+				if rec.Code != 200 {
+					b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
 	}
 }
 

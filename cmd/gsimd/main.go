@@ -1,0 +1,157 @@
+// Command gsimd serves graph similarity search over HTTP: the
+// internal/server JSON API (search, topk, batch, NDJSON streaming,
+// ingest, stats, health) over one resident gsim database with an
+// epoch-versioned result cache.
+//
+// Usage:
+//
+//	gsimd -db molecules.gsim -build-priors -addr :8764
+//	gsimd -db snapshot.bin -binary -priors priors.gob -cache 4096
+//	gsimd -addr :8764                  # start empty, fill via /v1/graphs
+//
+// The dataset preloads from -db (.gsim text, or a binary snapshot with
+// -binary); -priors restores offline priors saved by SavePriors, while
+// -build-priors fits them at startup (-tau-max, -pairs) — the two are
+// mutually exclusive. Without either, GBDA-family queries answer 409
+// until priors exist. The server shuts
+// down gracefully on SIGINT/SIGTERM: in-flight requests get -drain to
+// finish, then the listener closes.
+//
+// Try it:
+//
+//	curl localhost:8764/healthz
+//	curl -s localhost:8764/v1/stats | jq .
+//	curl -s localhost:8764/v1/search -d '{
+//	  "graph": {"vertices": ["C","N"], "edges": [{"u":0,"v":1,"label":"s"}]},
+//	  "tau": 3, "gamma": 0.9}' | jq .
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gsim"
+	"gsim/internal/server"
+)
+
+// config collects the flag values; split from main so the smoke test can
+// assemble a server without a process.
+type config struct {
+	dbPath      string
+	binary      bool
+	priorsPath  string
+	buildPriors bool
+	tauMax      int
+	pairs       int
+	cacheSize   int
+	method      string
+	workers     int
+}
+
+// load assembles the served database and server from cfg.
+func load(cfg config) (*server.Server, *gsim.Database, error) {
+	if cfg.priorsPath != "" && cfg.buildPriors {
+		return nil, nil, fmt.Errorf("-priors and -build-priors are mutually exclusive; restore a snapshot or fit fresh, not both")
+	}
+	name := cfg.dbPath
+	if name == "" {
+		name = "gsimd"
+	}
+	d := gsim.NewDatabase(name)
+	if cfg.dbPath != "" {
+		f, err := os.Open(cfg.dbPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		if cfg.binary {
+			err = d.LoadBinary(f)
+		} else {
+			_, err = d.LoadText(f)
+		}
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading %s: %w", cfg.dbPath, err)
+		}
+	}
+	if cfg.priorsPath != "" {
+		f, err := os.Open(cfg.priorsPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		err = d.LoadPriors(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading priors %s: %w", cfg.priorsPath, err)
+		}
+	} else if cfg.buildPriors {
+		if err := d.BuildPriors(gsim.OfflineConfig{TauMax: cfg.tauMax, SamplePairs: cfg.pairs}); err != nil {
+			return nil, nil, fmt.Errorf("building priors: %w", err)
+		}
+	}
+	m := gsim.Method(0)
+	if cfg.method != "" {
+		var err error
+		if m, err = gsim.ParseMethod(cfg.method); err != nil {
+			return nil, nil, err
+		}
+	}
+	srv := server.New(server.Config{
+		DB:            d,
+		CacheEntries:  cfg.cacheSize,
+		DefaultMethod: m,
+		Workers:       cfg.workers,
+	})
+	return srv, d, nil
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8764", "listen address")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		cfg     config
+		methods = "gbda"
+	)
+	flag.StringVar(&cfg.dbPath, "db", "", "path to a .gsim text database to preload (empty: start with no graphs)")
+	flag.BoolVar(&cfg.binary, "binary", false, "the -db file is a binary snapshot (see gbda -save-binary)")
+	flag.StringVar(&cfg.priorsPath, "priors", "", "path to priors saved by SavePriors (gob)")
+	flag.BoolVar(&cfg.buildPriors, "build-priors", false, "fit the offline GBDA priors at startup")
+	flag.IntVar(&cfg.tauMax, "tau-max", 10, "largest τ̂ the offline priors support (-build-priors)")
+	flag.IntVar(&cfg.pairs, "pairs", 20000, "sampled pairs for the GBD prior (-build-priors)")
+	flag.IntVar(&cfg.cacheSize, "cache", 1024, "result cache entries (0 disables caching)")
+	flag.StringVar(&cfg.method, "method", methods, "default search method for requests that omit one")
+	flag.IntVar(&cfg.workers, "workers", 0, "default scan workers per request (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	srv, d, err := load(cfg)
+	if err != nil {
+		log.Fatalf("gsimd: %v", err)
+	}
+	log.Printf("gsimd: serving %q (%d graphs, priors=%v, cache=%d) on %s",
+		d.Name(), d.Len(), d.HasPriors(), cfg.cacheSize, *addr)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("gsimd: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("gsimd: shutting down (drain %v)", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("gsimd: shutdown: %v", err)
+		}
+	}
+}

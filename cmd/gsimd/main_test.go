@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestDB renders a small deterministic .gsim text database: chains
+// of varying length over a few labels.
+func writeTestDB(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < 12; i++ {
+		n := 3 + i%4
+		fmt.Fprintf(&b, "g chain%d %d\n", i, n)
+		for v := 0; v < n; v++ {
+			fmt.Fprintf(&b, "v %d L%d\n", v, (v+i)%3)
+		}
+		for v := 0; v+1 < n; v++ {
+			fmt.Fprintf(&b, "e %d %d e%d\n", v, v+1, i%2)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "smoke.gsim")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSmoke boots the gsimd wiring exactly as main does (flags → load →
+// Handler) and drives the serving loop over a real HTTP listener: health,
+// stats, search, a cache hit, ingest, and the 409 for priorless GBDA.
+func TestSmoke(t *testing.T) {
+	srv, d, err := load(config{
+		dbPath:    writeTestDB(t),
+		cacheSize: 16,
+		method:    "lsap", // priors-free default so the smoke test needs no offline stage
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 12 {
+		t.Fatalf("preloaded %d graphs, want 12", d.Len())
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, out
+	}
+
+	if resp, body := get("/healthz"); resp.StatusCode != 200 || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	// A chain identical to chain0 must be found by the LSAP default.
+	query := `{"graph":{"vertices":["L0","L1","L2"],"edges":[{"u":0,"v":1,"label":"e0"},{"u":1,"v":2,"label":"e0"}]},"tau":1}`
+	resp, body := post("/v1/search", query)
+	if resp.StatusCode != 200 {
+		t.Fatalf("search: %d %s", resp.StatusCode, body)
+	}
+	var sr struct {
+		Matches []struct {
+			Name string `json:"name"`
+		} `json:"matches"`
+	}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range sr.Matches {
+		if m.Name == "chain0" {
+			found = true
+		}
+	}
+	if !found || resp.Header.Get("X-Gsim-Cache") != "miss" {
+		t.Fatalf("first search: found=%v cache=%q matches=%+v", found, resp.Header.Get("X-Gsim-Cache"), sr.Matches)
+	}
+
+	// The repeat is a cache hit with the identical body.
+	resp2, body2 := post("/v1/search", query)
+	if resp2.Header.Get("X-Gsim-Cache") != "hit" || string(body2) != string(body) {
+		t.Fatalf("repeat search: cache=%q, bodies equal=%v", resp2.Header.Get("X-Gsim-Cache"), string(body2) == string(body))
+	}
+
+	// GBDA needs priors this server never fitted → 409.
+	resp, body = post("/v1/search", `{"graph":{"vertices":["L0"]},"method":"gbda"}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("priorless gbda: %d %s", resp.StatusCode, body)
+	}
+
+	// Ingest bumps the epoch and the stats reflect everything.
+	resp, body = post("/v1/graphs", `{"graphs":[{"name":"new","vertices":["L0","L1"],"edges":[{"u":0,"v":1,"label":"e0"}]}]}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	var st struct {
+		Epoch    uint64 `json:"epoch"`
+		Database struct {
+			Graphs int `json:"graphs"`
+		} `json:"database"`
+		Cache struct {
+			Hits          uint64 `json:"hits"`
+			Invalidations uint64 `json:"invalidations"`
+		} `json:"cache"`
+	}
+	_, body = get("/v1/stats")
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Database.Graphs != 13 || st.Epoch == 0 || st.Cache.Hits != 1 {
+		t.Fatalf("stats after ingest: %+v", st)
+	}
+}

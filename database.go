@@ -21,7 +21,20 @@ type Stats = db.Stats
 // search (Section VI): the GBD prior fitted on sampled pairs and the
 // per-size model/Jeffreys-prior cache. Build graphs with NewGraph, then
 // call BuildPriors once before any GBDA-family Search.
+//
+// A Database is safe for concurrent use: mutations (Store, LoadText,
+// LoadBinary, BuildPriors, LoadPriors) are serialised by a write lock and
+// bump the database epoch, while every search snapshots the state it scans
+// (collection view, active subset, priors, prefilter index) at prepare
+// time under a read lock. An in-flight scan therefore runs to completion
+// against the state it started from — graphs stored mid-scan appear to
+// the next search, never to the current one — instead of racing the
+// mutation. Epoch observes this: any result computed at epoch E is stale
+// once Epoch() > E, which is what the serving layer's result cache keys
+// on (see internal/qcache).
 type Database struct {
+	mu     sync.RWMutex
+	epoch  uint64
 	col    *db.Collection
 	active []int // collection indexes scanned by Search; nil = all
 
@@ -33,12 +46,25 @@ type Database struct {
 	ix   *index.Index // incremental prefilter index; nil until first use
 }
 
+// Epoch returns the database version: a counter bumped by every mutation
+// that can change search results (graph inserts, snapshot loads, prior
+// fits). Two equal-epoch observations bracket an interval with no
+// mutations, so a result computed in between is still current — the
+// invalidation contract of the serving layer's query cache.
+func (d *Database) Epoch() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.epoch
+}
+
 // prefilterIndex returns the layered admissible filter index, building it
 // on first use and extending it with summaries for any graphs stored
 // since — so a graph added after a prefiltered search is visible to the
 // next one (the index is versioned by collection length, see
 // index.Synced). Each call publishes an immutable snapshot: an index
-// handed to an in-flight scan is never mutated by a later sync.
+// handed to an in-flight scan is never mutated by a later sync. The
+// caller must hold d.mu (read suffices); ixMu only serialises concurrent
+// read-locked syncs against each other.
 func (d *Database) prefilterIndex() *index.Index {
 	d.ixMu.Lock()
 	defer d.ixMu.Unlock()
@@ -50,7 +76,9 @@ func (d *Database) prefilterIndex() *index.Index {
 	return d.ix
 }
 
-// methodView projects the database state scorers prepare against.
+// methodView projects the database state scorers prepare against. The
+// caller must hold d.mu (read suffices); scorers only touch the view
+// inside Prepare, which runs under the same lock.
 func (d *Database) methodView() *method.DB {
 	return &method.DB{Col: d.col, Active: d.active, WS: d.ws, GBDPrior: d.gbdPrior, TauMax: d.tauMax}
 }
@@ -71,10 +99,16 @@ func FromCollection(col *db.Collection, active []int) *Database {
 
 // Len reports the number of stored graphs (including any not in the active
 // scan subset).
-func (d *Database) Len() int { return d.col.Len() }
+func (d *Database) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.col.Len()
+}
 
 // ActiveLen reports how many graphs Search scans.
 func (d *Database) ActiveLen() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.active == nil {
 		return d.col.Len()
 	}
@@ -82,42 +116,77 @@ func (d *Database) ActiveLen() int {
 }
 
 // Stats summarises the stored graphs.
-func (d *Database) Stats() Stats { return d.col.Stats() }
+func (d *Database) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.col.Stats()
+}
 
 // Name returns the database name.
-func (d *Database) Name() string { return d.col.Name }
+func (d *Database) Name() string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.col.Name
+}
 
 // LoadText bulk-loads graphs in .gsim text form (see internal/graph codec:
 // "g <name> <n>" header, "v <i> <label>" and "e <u> <v> <label>" records).
+// The batch is parsed before the database lock is taken and inserted
+// atomically: a concurrent search sees either none or all of the loaded
+// graphs.
 func (d *Database) LoadText(r io.Reader) (int, error) {
-	gs, err := graph.ReadAll(r, d.col.Dict)
+	d.mu.RLock()
+	dict := d.col.Dict
+	d.mu.RUnlock()
+	gs, err := graph.ReadAll(r, dict)
 	if err != nil {
 		return 0, err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.col.Dict != dict {
+		return 0, fmt.Errorf("gsim: database contents replaced while loading")
+	}
 	for _, g := range gs {
 		d.col.Add(g)
+	}
+	if len(gs) > 0 {
+		d.epoch++
 	}
 	return len(gs), nil
 }
 
 // SaveText writes every stored graph in .gsim text form.
-func (d *Database) SaveText(w io.Writer) error { return d.col.Save(w) }
+func (d *Database) SaveText(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.col.Save(w)
+}
 
 // SaveBinary writes a fast gob snapshot of the stored graphs.
-func (d *Database) SaveBinary(w io.Writer) error { return d.col.SaveBinary(w) }
+func (d *Database) SaveBinary(w io.Writer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.col.SaveBinary(w)
+}
 
 // LoadBinary replaces the database contents with a snapshot written by
 // SaveBinary, resetting any fitted priors and the active scan subset.
+// Searches already in flight finish against the contents they started
+// with; searches prepared after LoadBinary returns see only the snapshot.
 func (d *Database) LoadBinary(r io.Reader) error {
 	col, err := db.LoadBinary(r)
 	if err != nil {
 		return err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.col = col
 	d.active = nil
 	d.ws = nil
 	d.gbdPrior = nil
 	d.tauMax = 0
+	d.epoch++
 	d.ixMu.Lock()
 	d.ix = nil
 	d.ixMu.Unlock()
@@ -127,7 +196,10 @@ func (d *Database) LoadBinary(r io.Reader) error {
 // LoadQueryText parses exactly one .gsim stanza against the database's
 // label dictionary and prepares it as a query.
 func (d *Database) LoadQueryText(r io.Reader) (*Query, error) {
-	gs, err := graph.ReadAll(r, d.col.Dict)
+	d.mu.RLock()
+	dict := d.col.Dict
+	d.mu.RUnlock()
+	gs, err := graph.ReadAll(r, dict)
 	if err != nil {
 		return nil, err
 	}
@@ -139,27 +211,68 @@ func (d *Database) LoadQueryText(r io.Reader) (*Query, error) {
 
 // GraphBuilder constructs one labeled graph against the database's shared
 // label dictionary. Finish with Store (insert into the database) or Query
-// (use as a search query without storing).
+// (use as a search query without storing). Builders may run concurrently
+// with each other and with searches (the dictionary is internally
+// synchronised); each builder is itself single-goroutine.
 type GraphBuilder struct {
-	d *Database
-	g *graph.Graph
+	d   *Database
+	col *db.Collection // dictionary owner captured at NewGraph
+	g   *graph.Graph
+	eph map[string]graph.ID // non-nil: query-only builder, see NewQuery
 }
 
 // NewGraph starts building a graph with the given name.
 func (d *Database) NewGraph(name string) *GraphBuilder {
 	g := graph.New(8)
 	g.Name = name
-	return &GraphBuilder{d: d, g: g}
+	d.mu.RLock()
+	col := d.col
+	d.mu.RUnlock()
+	return &GraphBuilder{d: d, col: col, g: g}
+}
+
+// NewQuery starts building a query-only graph: labels already known to
+// the database resolve to their shared IDs, while unknown labels map to
+// ephemeral negative IDs that are never interned into the shared
+// dictionary — so a long-running server answering queries with arbitrary
+// labels does not grow the dictionary without bound. An ephemeral ID can
+// never equal a stored label's ID (those are non-negative), which is
+// exactly the right semantics: a label the database has never seen
+// matches nothing. The builder only supports AddVertex/AddEdge and
+// Query; Store, AddDirectedEdge and AddWeightedEdge fail (they need
+// durable labels).
+func (d *Database) NewQuery(name string) *GraphBuilder {
+	b := d.NewGraph(name)
+	b.eph = make(map[string]graph.ID)
+	return b
+}
+
+// intern resolves a label string for this builder: through the shared
+// dictionary for storable builders, lookup-with-ephemeral-fallback for
+// query-only ones.
+func (b *GraphBuilder) intern(label string) graph.ID {
+	if b.eph == nil {
+		return b.col.Dict.Intern(label)
+	}
+	if id, ok := b.col.Dict.Lookup(label); ok {
+		return id
+	}
+	if id, ok := b.eph[label]; ok {
+		return id
+	}
+	id := graph.ID(-1 - len(b.eph))
+	b.eph[label] = id
+	return id
 }
 
 // AddVertex appends a vertex with a string label and returns its index.
 func (b *GraphBuilder) AddVertex(label string) int {
-	return b.g.AddVertex(b.d.col.Dict.Intern(label))
+	return b.g.AddVertex(b.intern(label))
 }
 
 // AddEdge inserts an undirected labeled edge between vertices u and v.
 func (b *GraphBuilder) AddEdge(u, v int, label string) error {
-	return b.g.AddEdge(u, v, b.d.col.Dict.Intern(label))
+	return b.g.AddEdge(u, v, b.intern(label))
 }
 
 // AddDirectedEdge inserts the arc u→v, folding the direction into the edge
@@ -167,7 +280,10 @@ func (b *GraphBuilder) AddEdge(u, v int, label string) error {
 // ... as special labels"). Opposite arcs with the same base label merge
 // into a bidirectional edge.
 func (b *GraphBuilder) AddDirectedEdge(u, v int, base string) error {
-	return graph.AddDirectedEdge(b.g, b.d.col.Dict, u, v, base)
+	if b.eph != nil {
+		return errors.New("gsim: AddDirectedEdge needs a storable builder (NewGraph, not NewQuery)")
+	}
+	return graph.AddDirectedEdge(b.g, b.col.Dict, u, v, base)
 }
 
 // WeightBuckets re-exports the weight-folding quantiser: edge weights are
@@ -177,17 +293,68 @@ type WeightBuckets = graph.WeightBuckets
 
 // AddWeightedEdge inserts {u,v} with the weight folded to a bucket label.
 func (b *GraphBuilder) AddWeightedEdge(u, v int, weight float64, wb WeightBuckets) error {
-	return graph.AddWeightedEdge(b.g, b.d.col.Dict, wb, u, v, weight)
+	if b.eph != nil {
+		return errors.New("gsim: AddWeightedEdge needs a storable builder (NewGraph, not NewQuery)")
+	}
+	return graph.AddWeightedEdge(b.g, b.col.Dict, wb, u, v, weight)
 }
 
 // Store validates the graph, inserts it into the database, and returns its
-// collection index.
+// collection index. The insert bumps the database epoch; a search already
+// in flight keeps scanning its own snapshot and never sees the new graph,
+// the next search does. Store fails if LoadBinary replaced the database
+// contents since NewGraph — the builder's labels were interned against the
+// replaced dictionary.
 func (b *GraphBuilder) Store() (int, error) {
+	if b.eph != nil {
+		return 0, errors.New("gsim: a NewQuery builder cannot Store (its unknown labels are ephemeral); build with NewGraph")
+	}
 	if err := b.g.Validate(); err != nil {
 		return 0, err
 	}
+	b.d.mu.Lock()
+	defer b.d.mu.Unlock()
+	if b.d.col != b.col {
+		return 0, fmt.Errorf("gsim: database contents replaced since NewGraph; rebuild the graph")
+	}
 	b.d.col.Add(b.g)
+	b.d.epoch++
 	return b.d.col.Len() - 1, nil
+}
+
+// StoreAll validates and inserts the graphs of several builders as one
+// atomic batch: one write lock, one epoch bump, and a concurrent search
+// sees either none or all of them (the same contract LoadText gives bulk
+// text loads). Every builder must come from this database's NewGraph; on
+// any validation error nothing is stored. It returns the collection
+// index of the first inserted graph (the rest follow contiguously).
+func (d *Database) StoreAll(builders []*GraphBuilder) (int, error) {
+	for i, b := range builders {
+		if b.d != d {
+			return 0, fmt.Errorf("gsim: StoreAll: builder %d belongs to another database", i)
+		}
+		if b.eph != nil {
+			return 0, fmt.Errorf("gsim: StoreAll: builder %d is a NewQuery builder and cannot be stored", i)
+		}
+		if err := b.g.Validate(); err != nil {
+			return 0, fmt.Errorf("gsim: StoreAll: graph %d (%q): %w", i, b.g.Name, err)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, b := range builders {
+		if b.col != d.col {
+			return 0, fmt.Errorf("gsim: StoreAll: database contents replaced since NewGraph of builder %d; rebuild the graphs", i)
+		}
+	}
+	first := d.col.Len()
+	for _, b := range builders {
+		d.col.Add(b.g)
+	}
+	if len(builders) > 0 {
+		d.epoch++
+	}
+	return first, nil
 }
 
 // Query finalises the graph as a search query (precomputing its branch
@@ -212,7 +379,9 @@ func (q *Query) Name() string { return q.g.Name }
 // when the query workload is drawn from the same population as the database
 // (the paper's 5% split).
 func (d *Database) Query(i int) *Query {
+	d.mu.RLock()
 	e := d.col.Entry(i)
+	d.mu.RUnlock()
 	return &Query{g: e.G, branches: e.Branches}
 }
 
@@ -237,10 +406,10 @@ var ErrNoPriors = method.ErrNoPriors
 // their GBDs, fits the Gaussian-mixture GBD prior (Λ2, Section V-B) and
 // prepares the model workspace whose per-size Jeffreys priors (Λ3,
 // Section V-C) are filled lazily as sizes are encountered.
+// BuildPriors holds the database write lock for the whole fit — sampling
+// races ongoing inserts otherwise — so concurrent searches block until the
+// offline stage completes; it is an offline stage.
 func (d *Database) BuildPriors(cfg OfflineConfig) error {
-	if d.col.Len() < 2 {
-		return errors.New("gsim: need at least two graphs to fit priors")
-	}
 	if cfg.TauMax <= 0 {
 		cfg.TauMax = 10
 	}
@@ -249,6 +418,11 @@ func (d *Database) BuildPriors(cfg OfflineConfig) error {
 	}
 	if cfg.Components <= 0 {
 		cfg.Components = 3
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.col.Len() < 2 {
+		return errors.New("gsim: need at least two graphs to fit priors")
 	}
 	samples := d.col.SamplePairGBDs(cfg.SamplePairs, cfg.Seed)
 	prior, err := core.FitGBDPrior(samples, cfg.Components)
@@ -259,34 +433,51 @@ func (d *Database) BuildPriors(cfg OfflineConfig) error {
 	d.gbdPrior = prior
 	d.tauMax = cfg.TauMax
 	d.ws = core.NewWorkspace(core.Params{LV: s.LV, LE: s.LE, TauMax: cfg.TauMax})
+	d.epoch++
 	return nil
 }
 
 // HasPriors reports whether the offline stage has run.
-func (d *Database) HasPriors() bool { return d.ws != nil }
+func (d *Database) HasPriors() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.ws != nil
+}
 
 // TauMax returns the threshold ceiling the priors were built for (0 before
 // BuildPriors).
-func (d *Database) TauMax() int { return d.tauMax }
+func (d *Database) TauMax() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.tauMax
+}
 
 // GBDPriorProb exposes Pr[GBD = ϕ] from the fitted prior, for diagnostics
 // and the Figure 5 experiment.
 func (d *Database) GBDPriorProb(phi float64) (float64, error) {
-	if d.gbdPrior == nil {
+	d.mu.RLock()
+	prior := d.gbdPrior
+	d.mu.RUnlock()
+	if prior == nil {
 		return 0, ErrNoPriors
 	}
-	return d.gbdPrior.Prob(phi), nil
+	return prior.Prob(phi), nil
 }
 
 // GEDPriorRow exposes the Jeffreys prior Pr[GED = τ] for extended size v,
 // for diagnostics and the Figure 6 experiment.
 func (d *Database) GEDPriorRow(v int) ([]float64, error) {
-	if d.ws == nil {
+	d.mu.RLock()
+	ws := d.ws
+	d.mu.RUnlock()
+	if ws == nil {
 		return nil, ErrNoPriors
 	}
-	return d.ws.Model(v).GEDPrior(), nil
+	return ws.Model(v).GEDPrior(), nil
 }
 
+// activeIndexes materialises the active scan subset. The caller must hold
+// d.mu (read suffices).
 func (d *Database) activeIndexes() []int {
 	if d.active != nil {
 		return d.active

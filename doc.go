@@ -41,6 +41,19 @@
 // adapters over the same engine, so cancellation, parallelism and
 // filtering behave identically everywhere.
 //
+// Service layer (internal/server, cmd/gsimd). Above the consumers sits
+// the HTTP serving subsystem: a JSON API (/v1/search, /v1/topk,
+// /v1/batch, NDJSON /v1/stream, /v1/graphs ingest, /v1/stats, /healthz)
+// over one resident Database, fronted by an epoch-versioned LRU result
+// cache (internal/qcache) — a repeated query is served from memory until
+// a mutation invalidates it. Serving is sound because the Database is
+// concurrency-safe: mutations serialise behind a write lock and bump an
+// epoch counter (Epoch), while every search snapshots the collection,
+// active subset, priors and prefilter index at prepare time under a read
+// lock and scans lock-free against that snapshot. A graph stored during
+// a scan is visible to the next search, never to the running one, and a
+// result computed at epoch E is cacheable exactly while Epoch() == E.
+//
 // # Batch strategies
 //
 // A batch (SearchBatch, SearchBatchFunc, SearchTopKBatch) executes under
@@ -93,6 +106,11 @@
 //	d.SearchBatch(ctx, queries, opt)
 //	// the 10 most similar graphs per query, one entry-major pass
 //	d.SearchTopKBatch(ctx, queries, gsim.TopKOptions{Method: gsim.GBDA, K: 10})
+//
+// To serve the database over HTTP, run the gsimd command (see "Serving
+// over HTTP" in README.md):
+//
+//	gsimd -db molecules.gsim -build-priors -addr :8764
 //
 // See the examples directory for runnable programs and README.md for the
 // project overview.

@@ -37,7 +37,11 @@ func Of(g *graph.Graph, v int) Key {
 	buf := make([]byte, 0, 4*(len(labels)+1))
 	var tmp [binary.MaxVarintLen32]byte
 	put := func(id graph.ID) {
-		n := binary.PutUvarint(tmp[:], uint64(id))
+		// Through uint32, not uint64: ephemeral query labels (see
+		// gsim.Database.NewQuery) carry negative IDs, which must encode
+		// within MaxVarintLen32 bytes. Non-negative IDs keep the exact
+		// encoding stored multisets already use.
+		n := binary.PutUvarint(tmp[:], uint64(uint32(id)))
 		buf = append(buf, tmp[:n]...)
 	}
 	put(g.VertexLabel(v))
@@ -52,11 +56,11 @@ func Of(g *graph.Graph, v int) Key {
 func (k Key) Decode() (root graph.ID, edges []graph.ID) {
 	b := []byte(k)
 	v, n := binary.Uvarint(b)
-	root = graph.ID(v)
+	root = graph.ID(uint32(v))
 	b = b[n:]
 	for len(b) > 0 {
 		v, n = binary.Uvarint(b)
-		edges = append(edges, graph.ID(v))
+		edges = append(edges, graph.ID(uint32(v)))
 		b = b[n:]
 	}
 	return root, edges

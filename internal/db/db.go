@@ -85,6 +85,14 @@ func (c *Collection) Entry(i int) *Entry { return c.entries[i] }
 // Graph returns the i-th stored graph.
 func (c *Collection) Graph(i int) *graph.Graph { return c.entries[i].G }
 
+// Entries returns the stored entries as a point-in-time view: the caller
+// sees exactly the graphs present at call time, and entries Added later
+// never appear through the returned slice. Callers that interleave scans
+// with Adds must serialise the Entries call itself against Add (the gsim
+// layer does so with its database lock); after that the view is safe to
+// read concurrently with further Adds.
+func (c *Collection) Entries() []*Entry { return c.entries }
+
 // Stats summarises the collection in the shape of the paper's Table III.
 type Stats struct {
 	Graphs    int     // |D|

@@ -40,7 +40,7 @@ func preparePosterior(d *DB, opt Options) (*core.Searcher, error) {
 		return nil, ErrNoPriors
 	}
 	if opt.Tau > d.TauMax {
-		return nil, fmt.Errorf("gsim: tau %d exceeds prior ceiling %d; rebuild priors with a larger TauMax", opt.Tau, d.TauMax)
+		return nil, fmt.Errorf("%w: tau %d exceeds prior ceiling %d; rebuild priors with a larger TauMax", ErrBadOptions, opt.Tau, d.TauMax)
 	}
 	return &core.Searcher{WS: d.WS, GBD: d.GBDPrior}, nil
 }

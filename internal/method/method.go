@@ -43,6 +43,14 @@ const (
 // prior-fitting stage has run. gsim.ErrNoPriors aliases it.
 var ErrNoPriors = errors.New("gsim: BuildPriors must run before GBDA search")
 
+// ErrBadOptions is the sentinel wrapped by every option-validation
+// failure (unknown method, incompatible flags, τ̂ beyond the prior
+// ceiling): errors.Is(err, ErrBadOptions) distinguishes "the request was
+// malformed" from "the database is not ready" (ErrNoPriors) and from
+// internal failures — the split a serving layer maps to HTTP 400 / 409 /
+// 500. gsim.ErrBadOptions aliases it.
+var ErrBadOptions = errors.New("gsim: invalid search options")
+
 // ErrTooLarge reports that a baseline method refused a pair whose cost
 // matrix (or spectral representation) would exceed the memory wall the
 // paper measured on its 128 GB machine. gsim.ErrTooLarge aliases it.

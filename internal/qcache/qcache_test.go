@@ -1,0 +1,151 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestHitAfterPut(t *testing.T) {
+	c := New(4)
+	c.Put(0, "a", []byte("ra"))
+	got, ok := c.Get(0, "a")
+	if !ok || string(got) != "ra" {
+		t.Fatalf("Get after Put = %q, %v", got, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 0 || s.Len != 1 {
+		t.Fatalf("stats after hit: %+v", s)
+	}
+}
+
+func TestMissOnAbsentKey(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Get(0, "nope"); ok {
+		t.Fatal("absent key hit")
+	}
+	if s := c.Stats(); s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", s.Misses)
+	}
+}
+
+// TestEpochFlushInvalidates: a newer epoch wipes every resident entry —
+// the mutation-invalidates-cache contract.
+func TestEpochFlushInvalidates(t *testing.T) {
+	c := New(4)
+	c.Put(1, "a", []byte("ra"))
+	c.Put(1, "b", []byte("rb"))
+	if _, ok := c.Get(2, "a"); ok {
+		t.Fatal("entry survived an epoch bump")
+	}
+	s := c.Stats()
+	if s.Invalidations != 2 {
+		t.Fatalf("invalidations = %d, want 2", s.Invalidations)
+	}
+	if s.Len != 0 || s.Epoch != 2 {
+		t.Fatalf("post-flush stats: %+v", s)
+	}
+	// The flushed key can be re-cached at the new epoch.
+	c.Put(2, "a", []byte("ra2"))
+	if got, ok := c.Get(2, "a"); !ok || string(got) != "ra2" {
+		t.Fatalf("re-cache at new epoch = %q, %v", got, ok)
+	}
+}
+
+// TestStalePutDropped: a search that snapshotted before a mutation must
+// not publish its result after the mutation committed.
+func TestStalePutDropped(t *testing.T) {
+	c := New(4)
+	c.Put(2, "cur", []byte("r2"))
+	c.Put(1, "old", []byte("r1")) // stale writer
+	if _, ok := c.Get(2, "old"); ok {
+		t.Fatal("stale Put was retained")
+	}
+	if got, ok := c.Get(2, "cur"); !ok || string(got) != "r2" {
+		t.Fatalf("current entry disturbed by stale Put: %q, %v", got, ok)
+	}
+}
+
+// TestStaleGetMisses: a reader carrying an older epoch misses without
+// flushing the resident entries.
+func TestStaleGetMisses(t *testing.T) {
+	c := New(4)
+	c.Put(3, "a", []byte("ra"))
+	if _, ok := c.Get(2, "a"); ok {
+		t.Fatal("stale Get hit")
+	}
+	if got, ok := c.Get(3, "a"); !ok || string(got) != "ra" {
+		t.Fatalf("resident entry lost to stale Get: %q, %v", got, ok)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put(0, "a", []byte("ra"))
+	c.Put(0, "b", []byte("rb"))
+	c.Get(0, "a") // a is now most recent
+	c.Put(0, "c", []byte("rc"))
+	if _, ok := c.Get(0, "b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get(0, "a"); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+	if _, ok := c.Get(0, "c"); !ok {
+		t.Fatal("newest entry c evicted")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Len != 2 {
+		t.Fatalf("eviction stats: %+v", s)
+	}
+}
+
+func TestPutOverwriteSameKey(t *testing.T) {
+	c := New(2)
+	c.Put(0, "a", []byte("v1"))
+	c.Put(0, "a", []byte("v2"))
+	if got, _ := c.Get(0, "a"); string(got) != "v2" {
+		t.Fatalf("overwrite: got %q", got)
+	}
+	if s := c.Stats(); s.Len != 1 {
+		t.Fatalf("overwrite grew the cache: %+v", s)
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0)
+	c.Put(0, "a", []byte("ra"))
+	if _, ok := c.Get(0, "a"); ok {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+}
+
+// TestConcurrentMixedEpochs drives readers, writers and epoch bumps in
+// parallel; correctness here is "no race, no panic, counters consistent"
+// under -race.
+func TestConcurrentMixedEpochs(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				epoch := uint64(i / 100)
+				key := fmt.Sprintf("k%d", i%16)
+				if i%3 == 0 {
+					c.Put(epoch, key, []byte(key))
+				} else {
+					c.Get(epoch, key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Len > 8 {
+		t.Fatalf("capacity exceeded: %+v", s)
+	}
+	if s.Epoch != 4 {
+		t.Fatalf("final epoch = %d, want 4", s.Epoch)
+	}
+}

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"mime"
+	"net/http"
+	"time"
+
+	"gsim"
+)
+
+// decode parses a JSON request body into v, translating syntax failures
+// into ErrBadOptions so they map to 400.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return err // bodyStatus maps it to 413, not 400
+		}
+		return fmt.Errorf("%w: decoding request body: %v", gsim.ErrBadOptions, err)
+	}
+	return nil
+}
+
+// bodyStatus maps a request-body error: over the MaxBodyBytes cap is 413
+// (the client must learn the limit, not retry a "malformed" payload),
+// anything else is the caller's status (normally 400).
+func bodyStatus(err error, fallback int) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return fallback
+}
+
+// cacheHeader reports the cache outcome of a request: "hit", "miss", or
+// "off" when the server runs without a cache.
+const cacheHeader = "X-Gsim-Cache"
+
+// cached wraps the render step of a cacheable endpoint. On a hit the
+// stored body is served verbatim; on a miss render runs and its body is
+// stored under the epoch the search actually snapshotted (render returns
+// it), so a result computed while a mutation raced the request is stored
+// under the post-mutation epoch — the response's epoch label, the cache
+// version and the scanned snapshot always agree. With caching disabled
+// the key is never even computed (keyFn is lazy).
+func (s *Server) cached(w http.ResponseWriter, keyFn func() string, render func() ([]byte, uint64, int, error)) {
+	var key string
+	if s.cache.Enabled() {
+		key = keyFn()
+		if body, ok := s.cache.Get(s.db.Epoch(), key); ok {
+			w.Header().Set(cacheHeader, "hit")
+			writeJSONBytes(w, http.StatusOK, body)
+			return
+		}
+	}
+	body, epoch, status, err := render()
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if s.cache.Enabled() {
+		s.cache.Put(epoch, key, body)
+		w.Header().Set(cacheHeader, "miss")
+	} else {
+		w.Header().Set(cacheHeader, "off")
+	}
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, bodyStatus(err, http.StatusBadRequest), err)
+		return
+	}
+	opt, echo, err := s.searchOptions(req.wireOptions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	keyFn := func() string { return fingerprint("search", echo, []wireGraph{req.Graph}) }
+	s.cached(w, keyFn, func() ([]byte, uint64, int, error) {
+		q, err := s.buildQuery(req.Graph)
+		if err != nil {
+			return nil, 0, http.StatusBadRequest, err
+		}
+		res, err := s.db.SearchContext(r.Context(), q, opt)
+		if err != nil {
+			return nil, 0, searchStatus(err), err
+		}
+		body, err := json.Marshal(toResponse(res, echo))
+		if err != nil {
+			return nil, 0, http.StatusInternalServerError, err
+		}
+		return body, res.Epoch, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, bodyStatus(err, http.StatusBadRequest), err)
+		return
+	}
+	opt, echo, err := s.topKOptions(req.wireOptions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	keyFn := func() string { return fingerprint("topk", echo, []wireGraph{req.Graph}) }
+	s.cached(w, keyFn, func() ([]byte, uint64, int, error) {
+		q, err := s.buildQuery(req.Graph)
+		if err != nil {
+			return nil, 0, http.StatusBadRequest, err
+		}
+		res, err := s.db.SearchTopKContext(r.Context(), q, opt)
+		if err != nil {
+			return nil, 0, searchStatus(err), err
+		}
+		body, err := json.Marshal(toResponse(res, echo))
+		if err != nil {
+			return nil, 0, http.StatusInternalServerError, err
+		}
+		return body, res.Epoch, http.StatusOK, nil
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, bodyStatus(err, http.StatusBadRequest), err)
+		return
+	}
+	if len(req.Graphs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("%w: batch holds no graphs", gsim.ErrBadOptions))
+		return
+	}
+	if len(req.Graphs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: batch holds %d graphs, limit %d", gsim.ErrBadOptions, len(req.Graphs), s.cfg.MaxBatch))
+		return
+	}
+	opt, echo, err := s.searchOptions(req.wireOptions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	keyFn := func() string { return fingerprint("batch", echo, req.Graphs) }
+	s.cached(w, keyFn, func() ([]byte, uint64, int, error) {
+		queries := make([]*gsim.Query, len(req.Graphs))
+		for i, wg := range req.Graphs {
+			q, err := s.buildQuery(wg)
+			if err != nil {
+				return nil, 0, http.StatusBadRequest, err
+			}
+			queries[i] = q
+		}
+		results, err := s.db.SearchBatch(r.Context(), queries, opt)
+		if err != nil {
+			return nil, 0, searchStatus(err), err
+		}
+		resp := batchResponse{Epoch: results[0].Epoch, Results: make([]searchResponse, len(results))}
+		for i, res := range results {
+			resp.Results[i] = toResponse(res, echo)
+		}
+		body, err := json.Marshal(resp)
+		if err != nil {
+			return nil, 0, http.StatusInternalServerError, err
+		}
+		return body, resp.Epoch, http.StatusOK, nil
+	})
+}
+
+// handleStream answers a threshold query as NDJSON: one match per line as
+// the scan produces it (unordered, backed by SearchStream), then one
+// trailer record with done/scanned/elapsed. Errors before the first match
+// are proper HTTP errors; errors mid-stream arrive in the trailer, since
+// the 200 header is already on the wire. A client closing the connection
+// cancels the scan through the request context.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := decode(r, &req); err != nil {
+		writeError(w, bodyStatus(err, http.StatusBadRequest), err)
+		return
+	}
+	opt, _, err := s.searchOptions(req.wireOptions)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := s.buildQuery(req.Graph)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+	wrote := false
+	matches := 0
+	scanned, err := s.db.SearchStream(r.Context(), q, opt, func(m gsim.Match) bool {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			wrote = true
+		}
+		if err := enc.Encode(wireMatch{Index: m.Index, Name: m.Name, Score: m.Score}); err != nil {
+			return false // client went away; the context cancels the scan too
+		}
+		matches++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	})
+	if err != nil && !wrote {
+		writeError(w, searchStatus(err), err)
+		return
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+	}
+	trailer := streamTrailer{
+		Done:      err == nil,
+		Scanned:   scanned,
+		Matches:   matches,
+		ElapsedNS: time.Since(start).Nanoseconds(),
+	}
+	if err != nil {
+		trailer.Error = err.Error()
+	}
+	enc.Encode(trailer)
+}
+
+// ingestGraphs is the /v1/graphs JSON body.
+type ingestGraphs struct {
+	Graphs []wireGraph `json:"graphs"`
+}
+
+// handleIngest stores graphs: a JSON body {"graphs": [...]} or raw .gsim
+// text (Content-Type text/plain). Inserts bump the database epoch, which
+// invalidates every cached result — observable as the epoch field in
+// subsequent responses and the invalidation counter in /v1/stats.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	switch ct {
+	case "text/plain", "application/x-gsim":
+		n, err := s.db.LoadText(r.Body)
+		if err != nil {
+			writeError(w, bodyStatus(err, http.StatusBadRequest), fmt.Errorf("parsing .gsim text: %w", err))
+			return
+		}
+		writeJSON(w, http.StatusOK, ingestResponse{Stored: n, Graphs: s.db.Len(), Epoch: s.db.Epoch()})
+	case "", "application/json":
+		var req ingestGraphs
+		if err := decode(r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(req.Graphs) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%w: no graphs in request", gsim.ErrBadOptions))
+			return
+		}
+		if len(req.Graphs) > s.cfg.MaxBatch {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("%w: %d graphs in request, limit %d", gsim.ErrBadOptions, len(req.Graphs), s.cfg.MaxBatch))
+			return
+		}
+		// Build first so a malformed graph rejects the request before
+		// anything is stored, then insert the whole batch atomically:
+		// like the text path, a concurrent search sees none or all.
+		builders := make([]*gsim.GraphBuilder, len(req.Graphs))
+		for i, wg := range req.Graphs {
+			b, err := s.buildStored(wg)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
+			builders[i] = b
+		}
+		if _, err := s.db.StoreAll(builders); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ingestResponse{Stored: len(builders), Graphs: s.db.Len(), Epoch: s.db.Epoch()})
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("unsupported Content-Type %q (use application/json or text/plain)", ct))
+	}
+}

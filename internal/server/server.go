@@ -1,0 +1,254 @@
+// Package server is the HTTP serving layer over a gsim.Database: a JSON
+// API exposing the library's consumers (Search, SearchTopK, SearchBatch,
+// SearchStream) plus graph ingest, health and introspection — the
+// "online" face of the paper's online/offline split, where the
+// probabilistic posterior makes each query cheap enough to answer
+// interactively.
+//
+// Endpoints:
+//
+//	POST /v1/search   threshold query            → JSON result
+//	POST /v1/topk     ranking query              → JSON result
+//	POST /v1/batch    multi-query workload       → JSON results (one scan)
+//	POST /v1/stream   threshold query            → NDJSON, one match per line
+//	POST /v1/graphs   ingest (.gsim text or JSON)
+//	GET  /v1/stats    database, prior, cache and server counters
+//	GET  /healthz     liveness
+//
+// Search, topk and batch responses are cached in an epoch-versioned LRU
+// (internal/qcache) keyed by the canonical request fingerprint: a
+// repeated query is served from memory until any database mutation bumps
+// the epoch and invalidates the cache wholesale. The X-Gsim-Cache
+// response header reports hit or miss per request; /v1/stats exposes the
+// counters. Streaming responses are never cached.
+//
+// Error contract: malformed requests and invalid option combinations
+// (gsim.ErrBadOptions) are 400, searches needing unfitted priors
+// (gsim.ErrNoPriors) are 409, an oversized pair refused by a baseline
+// (gsim.ErrTooLarge) is 422, everything else is 500. Error bodies are
+// {"error": "..."}.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"gsim"
+	"gsim/internal/qcache"
+)
+
+// Config parameterises New.
+type Config struct {
+	// DB is the served database (required).
+	DB *gsim.Database
+	// CacheEntries bounds the result cache; ≤ 0 disables caching.
+	CacheEntries int
+	// DefaultMethod is used when a request omits "method" (zero value:
+	// GBDA).
+	DefaultMethod gsim.Method
+	// Workers is both the default and the ceiling for per-request scan
+	// parallelism (≤ 0: GOMAXPROCS): a request's "workers" field may
+	// lower it, never exceed it.
+	Workers int
+	// MaxBodyBytes caps request body size (default 32 MiB).
+	MaxBodyBytes int64
+	// MaxBatch caps the number of graphs per /v1/batch and /v1/graphs
+	// JSON request (default 1024).
+	MaxBatch int
+}
+
+// Server serves one database over HTTP. Construct with New; all methods
+// are safe for concurrent use (request handling relies on the database's
+// own snapshot-at-prepare concurrency model).
+type Server struct {
+	db    *gsim.Database
+	cache *qcache.Cache
+	cfg   Config
+	start time.Time
+
+	requests atomic.Uint64 // served requests, all endpoints
+}
+
+// New returns a server over cfg.DB.
+func New(cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	return &Server{
+		db:    cfg.DB,
+		cache: qcache.New(cfg.CacheEntries),
+		cfg:   cfg,
+		start: time.Now(),
+	}
+}
+
+// Handler returns the route table. The mux is rebuilt per call; callers
+// keep one.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/search", s.counted(post(s.handleSearch)))
+	mux.HandleFunc("/v1/topk", s.counted(post(s.handleTopK)))
+	mux.HandleFunc("/v1/batch", s.counted(post(s.handleBatch)))
+	mux.HandleFunc("/v1/stream", s.counted(post(s.handleStream)))
+	mux.HandleFunc("/v1/graphs", s.counted(post(s.handleIngest)))
+	mux.HandleFunc("/v1/stats", s.counted(get(s.handleStats)))
+	mux.HandleFunc("/healthz", s.counted(get(s.handleHealthz)))
+	return mux
+}
+
+// counted wraps a handler with the request counter and the body cap.
+func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		h(w, r)
+	}
+}
+
+// post admits only POST requests.
+func post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// get admits only GET and HEAD requests.
+func get(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// statsResponse is the /v1/stats body.
+type statsResponse struct {
+	Database dbStats      `json:"database"`
+	Priors   priorStats   `json:"priors"`
+	Epoch    uint64       `json:"epoch"`
+	Cache    cacheStats   `json:"cache"`
+	Server   serverCounts `json:"server"`
+}
+
+type dbStats struct {
+	Name      string  `json:"name"`
+	Graphs    int     `json:"graphs"`
+	Active    int     `json:"active"`
+	MaxV      int     `json:"max_vertices"`
+	MaxE      int     `json:"max_edges"`
+	AvgDegree float64 `json:"avg_degree"`
+	LV        int     `json:"vertex_labels"`
+	LE        int     `json:"edge_labels"`
+}
+
+type priorStats struct {
+	Built  bool `json:"built"`
+	TauMax int  `json:"tau_max,omitempty"`
+}
+
+type cacheStats struct {
+	Len           int    `json:"len"`
+	Cap           int    `json:"cap"`
+	Epoch         uint64 `json:"epoch"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+type serverCounts struct {
+	Requests uint64 `json:"requests"`
+	UptimeMS int64  `json:"uptime_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.db.Stats()
+	cs := s.cache.Stats()
+	resp := statsResponse{
+		Database: dbStats{
+			Name:      s.db.Name(),
+			Graphs:    st.Graphs,
+			Active:    s.db.ActiveLen(),
+			MaxV:      st.MaxV,
+			MaxE:      st.MaxE,
+			AvgDegree: st.AvgDegree,
+			LV:        st.LV,
+			LE:        st.LE,
+		},
+		Priors: priorStats{Built: s.db.HasPriors(), TauMax: s.db.TauMax()},
+		Epoch:  s.db.Epoch(),
+		Cache: cacheStats{
+			Len:           cs.Len,
+			Cap:           cs.Cap,
+			Epoch:         cs.Epoch,
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			Evictions:     cs.Evictions,
+			Invalidations: cs.Invalidations,
+		},
+		Server: serverCounts{
+			Requests: s.requests.Load(),
+			UptimeMS: time.Since(s.start).Milliseconds(),
+		},
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeJSON renders v with status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONBytes sends a pre-rendered JSON body (the cache-hit path).
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// errorResponse is every error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// searchStatus maps a search error to its HTTP status: caller mistakes
+// are 400, a database not ready for the method is 409, an oversized pair
+// refused by a baseline is 422, the rest is 500.
+func searchStatus(err error) int {
+	switch {
+	case errors.Is(err, gsim.ErrBadOptions):
+		return http.StatusBadRequest
+	case errors.Is(err, gsim.ErrNoPriors):
+		return http.StatusConflict
+	case errors.Is(err, gsim.ErrTooLarge):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -27,17 +27,20 @@ type priorSnapshot struct {
 // SavePriors serialises the fitted offline priors. It fails before
 // BuildPriors has run.
 func (d *Database) SavePriors(w io.Writer) error {
-	if !d.HasPriors() {
+	d.mu.RLock()
+	ws, prior, tauMax := d.ws, d.gbdPrior, d.tauMax
+	d.mu.RUnlock()
+	if ws == nil {
 		return ErrNoPriors
 	}
 	snap := priorSnapshot{
-		TauMax: d.tauMax,
-		LV:     d.ws.LV,
-		LE:     d.ws.LE,
-		Floor:  d.gbdPrior.Floor,
+		TauMax: tauMax,
+		LV:     ws.LV,
+		LE:     ws.LE,
+		Floor:  prior.Floor,
 	}
-	for i, c := range d.gbdPrior.Mix.Comps {
-		snap.Weights = append(snap.Weights, d.gbdPrior.Mix.Weights[i])
+	for i, c := range prior.Mix.Comps {
+		snap.Weights = append(snap.Weights, prior.Mix.Weights[i])
 		snap.Mus = append(snap.Mus, c.Mu)
 		snap.Sigmas = append(snap.Sigmas, c.Sigma)
 	}
@@ -69,8 +72,11 @@ func (d *Database) LoadPriors(r io.Reader) error {
 	if floor <= 0 {
 		floor = core.DefaultPriorFloor
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.gbdPrior = &core.GBDPrior{Mix: mix, Floor: floor}
 	d.tauMax = snap.TauMax
 	d.ws = core.NewWorkspace(core.Params{LV: snap.LV, LE: snap.LE, TauMax: snap.TauMax})
+	d.epoch++
 	return nil
 }

@@ -1,0 +1,171 @@
+package gsim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fittedDatabase builds a small database and runs the offline stage.
+func fittedDatabase(t *testing.T) *Database {
+	t.Helper()
+	d := NewDatabase("persist")
+	var b strings.Builder
+	for i := 0; i < 16; i++ {
+		n := 3 + i%4
+		fmt.Fprintf(&b, "g p%d %d\n", i, n)
+		for v := 0; v < n; v++ {
+			fmt.Fprintf(&b, "v %d L%d\n", v, (v*7+i)%5)
+		}
+		for v := 0; v+1 < n; v++ {
+			fmt.Fprintf(&b, "e %d %d e%d\n", v, v+1, (v+i)%2)
+		}
+	}
+	if _, err := d.LoadText(strings.NewReader(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.BuildPriors(OfflineConfig{TauMax: 4, SamplePairs: 2000, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestPriorsRoundTripExact: LoadPriors restores TauMax, the GBD prior
+// density and the per-size Jeffreys prior rows bit-for-bit — the
+// artifacts a served database needs to answer GBDA queries identically
+// after a restart.
+func TestPriorsRoundTripExact(t *testing.T) {
+	src := fittedDatabase(t)
+	var buf bytes.Buffer
+	if err := src.SavePriors(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewDatabase("restored")
+	if err := dst.LoadPriors(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.TauMax() != src.TauMax() {
+		t.Fatalf("TauMax %d, want %d", dst.TauMax(), src.TauMax())
+	}
+	for _, phi := range []float64{0, 0.05, 0.17, 0.42, 0.9, 1} {
+		want, err := src.GBDPriorProb(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.GBDPriorProb(phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("GBDPriorProb(%g) = %v, want %v", phi, got, want)
+		}
+	}
+	for _, v := range []int{2, 5, 9, 14} {
+		want, err := src.GEDPriorRow(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.GEDPriorRow(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("GEDPriorRow(%d) length %d, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("GEDPriorRow(%d)[%d] = %v, want %v", v, i, got[i], want[i])
+			}
+		}
+	}
+	// The epoch moved: restored priors invalidate cached results.
+	if dst.Epoch() == 0 {
+		t.Fatal("LoadPriors did not bump the epoch")
+	}
+}
+
+// TestLoadPriorsTruncated: every proper prefix of a valid snapshot fails
+// to load and leaves the database untouched.
+func TestLoadPriorsTruncated(t *testing.T) {
+	src := fittedDatabase(t)
+	var buf bytes.Buffer
+	if err := src.SavePriors(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 1, len(full) / 2, len(full) - 1} {
+		d := NewDatabase("trunc")
+		if err := d.LoadPriors(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated snapshot (%d of %d bytes) loaded", cut, len(full))
+		}
+		if d.HasPriors() {
+			t.Fatalf("failed load (%d bytes) left priors set", cut)
+		}
+	}
+}
+
+// encodeSnapshot gobs a handcrafted priorSnapshot.
+func encodeSnapshot(t *testing.T, snap priorSnapshot) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+// TestLoadPriorsCorrupt: structurally valid gob with semantically corrupt
+// contents is rejected, field by field.
+func TestLoadPriorsCorrupt(t *testing.T) {
+	valid := priorSnapshot{
+		TauMax: 3, LV: 4, LE: 2, Floor: 1e-9,
+		Weights: []float64{0.5, 0.5},
+		Mus:     []float64{0.1, 0.3},
+		Sigmas:  []float64{0.05, 0.1},
+	}
+	cases := []struct {
+		name string
+		mut  func(s *priorSnapshot)
+	}{
+		{"zero tau", func(s *priorSnapshot) { s.TauMax = 0 }},
+		{"negative tau", func(s *priorSnapshot) { s.TauMax = -2 }},
+		{"no components", func(s *priorSnapshot) { s.Weights, s.Mus, s.Sigmas = nil, nil, nil }},
+		{"mismatched mus", func(s *priorSnapshot) { s.Mus = s.Mus[:1] }},
+		{"mismatched sigmas", func(s *priorSnapshot) { s.Sigmas = append(s.Sigmas, 0.2) }},
+		{"zero sigma", func(s *priorSnapshot) { s.Sigmas = []float64{0.05, 0} }},
+		{"negative sigma", func(s *priorSnapshot) { s.Sigmas = []float64{-0.05, 0.1} }},
+	}
+	for _, tc := range cases {
+		snap := valid
+		snap.Weights = append([]float64(nil), valid.Weights...)
+		snap.Mus = append([]float64(nil), valid.Mus...)
+		snap.Sigmas = append([]float64(nil), valid.Sigmas...)
+		tc.mut(&snap)
+		d := NewDatabase("corrupt")
+		if err := d.LoadPriors(encodeSnapshot(t, snap)); err == nil {
+			t.Fatalf("%s: corrupt snapshot loaded", tc.name)
+		}
+		if d.HasPriors() {
+			t.Fatalf("%s: failed load left priors set", tc.name)
+		}
+	}
+	// The unmutated control must load.
+	d := NewDatabase("control")
+	if err := d.LoadPriors(encodeSnapshot(t, valid)); err != nil {
+		t.Fatalf("control snapshot rejected: %v", err)
+	}
+	if !d.HasPriors() || d.TauMax() != 3 {
+		t.Fatalf("control snapshot loaded oddly: priors=%v tauMax=%d", d.HasPriors(), d.TauMax())
+	}
+}
+
+// TestLoadPriorsGarbage: non-gob bytes fail cleanly.
+func TestLoadPriorsGarbage(t *testing.T) {
+	d := NewDatabase("garbage")
+	if err := d.LoadPriors(strings.NewReader("this is not a gob stream")); err == nil {
+		t.Fatal("garbage input loaded")
+	}
+}

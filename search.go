@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"gsim/internal/db"
 	"gsim/internal/engine"
 	"gsim/internal/index"
 	"gsim/internal/method"
@@ -161,6 +162,14 @@ func (o SearchOptions) methodOptions() method.Options {
 // paper measured on its 128 GB machine.
 var ErrTooLarge = method.ErrTooLarge
 
+// ErrBadOptions is the sentinel every option-validation failure wraps:
+// unknown method, incompatible flag combinations (CollectAll with
+// Prefilter or an unsupported method, a non-rankable TopK method), or a
+// τ̂ beyond the fitted prior ceiling. errors.Is(err, ErrBadOptions)
+// separates caller mistakes from database state errors (ErrNoPriors) —
+// the serving layer maps the former to HTTP 400 and the latter to 409.
+var ErrBadOptions = method.ErrBadOptions
+
 // Match is one search hit.
 type Match struct {
 	// Index is the collection index of the matched graph.
@@ -181,6 +190,10 @@ type Result struct {
 	Scanned int
 	// Elapsed is the wall-clock query time (the paper's Figures 7–9).
 	Elapsed time.Duration
+	// Epoch is the database version (see Database.Epoch) of the snapshot
+	// the search scanned — the version a cached copy of this result is
+	// valid for.
+	Epoch uint64
 }
 
 // Indexes returns the matched collection indexes, sorted ascending.
@@ -194,37 +207,52 @@ func (r *Result) Indexes() []int {
 }
 
 // preparedSearch is a validated search ready to run over any number of
-// queries: the scorer is prepared, the active subset snapshotted, and the
-// prefilter index (if requested) synced with the collection. It is the
-// amortisation unit behind Search, SearchStream, SearchTopK and
-// SearchBatch.
+// queries: the scorer is prepared, the collection and active subset
+// snapshotted, and the prefilter index (if requested) synced with the
+// collection. It is both the amortisation unit behind Search,
+// SearchStream, SearchTopK and SearchBatch and the isolation unit of the
+// database's concurrency model — the scan reads only this snapshot, so
+// mutations committed after prepare never reach an in-flight search.
 type preparedSearch struct {
-	d      *Database
-	opt    SearchOptions
-	info   method.Info
-	scorer method.Scorer
-	idx    []int        // active collection indexes
-	ix     *index.Index // non-nil iff opt.Prefilter
+	opt     SearchOptions
+	info    method.Info
+	scorer  method.Scorer
+	idx     []int        // active collection indexes
+	entries []*db.Entry  // collection view at prepare time; scans index this, never the live collection
+	epoch   uint64       // database epoch the snapshot was taken at
+	ix      *index.Index // non-nil iff opt.Prefilter
 }
 
 // prepare validates opt against the database state and readies a scorer.
+// It holds the database read lock while the scorer prepares and the state
+// snapshot is taken, then releases it — the scan itself runs lock-free
+// against the snapshot.
 func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 	opt = opt.withDefaults()
 	info, ok := method.Lookup(method.ID(opt.Method))
 	if !ok {
-		return nil, fmt.Errorf("gsim: unknown method %v", opt.Method)
+		return nil, fmt.Errorf("%w: unknown method %v", ErrBadOptions, opt.Method)
 	}
 	if opt.CollectAll && !info.CollectAll {
-		return nil, fmt.Errorf("gsim: CollectAll is not supported by the %v method", opt.Method)
+		return nil, fmt.Errorf("%w: CollectAll is not supported by the %v method", ErrBadOptions, opt.Method)
 	}
 	if opt.CollectAll && opt.Prefilter {
-		return nil, fmt.Errorf("gsim: CollectAll and Prefilter are mutually exclusive")
+		return nil, fmt.Errorf("%w: CollectAll and Prefilter are mutually exclusive", ErrBadOptions)
 	}
 	scorer := info.New()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if err := scorer.Prepare(d.methodView(), opt.methodOptions()); err != nil {
 		return nil, err
 	}
-	ps := &preparedSearch{d: d, opt: opt, info: info, scorer: scorer, idx: d.activeIndexes()}
+	ps := &preparedSearch{
+		opt:     opt,
+		info:    info,
+		scorer:  scorer,
+		idx:     d.activeIndexes(),
+		entries: d.col.Entries(),
+		epoch:   d.epoch,
+	}
 	if opt.Prefilter {
 		ps.ix = d.prefilterIndex()
 	}
@@ -245,7 +273,7 @@ func (ps *preparedSearch) stream(ctx context.Context, q *Query, emit func(pos in
 		if ps.ix != nil && ps.ix.Prunable(qs, q.branches, i, ps.opt.Tau) {
 			return Match{}, false, nil
 		}
-		e := ps.d.col.Entry(i)
+		e := ps.entries[i]
 		keep, score, err := ps.scorer.Score(mq, e)
 		if err != nil {
 			return Match{}, false, err
@@ -280,6 +308,7 @@ func (ps *preparedSearch) collect(ctx context.Context, q *Query) (*Result, error
 		Matches: matches,
 		Scanned: scanned,
 		Elapsed: time.Since(start),
+		Epoch:   ps.epoch,
 	}, nil
 }
 

@@ -82,7 +82,7 @@ func (d *Database) SearchTopKBatch(ctx context.Context, queries []*Query, opt To
 	}
 	scanned, err := ps.streamBatch(ctx, queries, bs, func(pos int, verdicts []method.Verdict) bool {
 		i := ps.idx[pos]
-		e := ps.d.col.Entry(i)
+		e := ps.entries[i]
 		for k, v := range verdicts {
 			if v.Skip || !v.Keep {
 				continue
@@ -101,6 +101,7 @@ func (d *Database) SearchTopKBatch(ctx context.Context, queries []*Query, opt To
 			Matches: heaps[k].ranked(),
 			Scanned: scanned,
 			Elapsed: elapsed,
+			Epoch:   ps.epoch,
 		}
 	}
 	return out, nil
@@ -113,14 +114,14 @@ func (d *Database) prepareTopK(opt *TopKOptions) (*preparedSearch, method.Info, 
 		opt.K = 10
 	}
 	if opt.Tau <= 0 {
-		opt.Tau = d.tauMax
+		opt.Tau = d.TauMax()
 		if opt.Tau <= 0 {
 			opt.Tau = 10
 		}
 	}
 	info, ok := method.Lookup(method.ID(opt.Method))
 	if !ok || !info.Rankable() {
-		return nil, info, fmt.Errorf("gsim: SearchTopK does not support the %v method", opt.Method)
+		return nil, info, fmt.Errorf("%w: SearchTopK does not support the %v method", ErrBadOptions, opt.Method)
 	}
 	ps, err := d.prepare(SearchOptions{
 		Method:              opt.Method,
@@ -153,6 +154,7 @@ func (ps *preparedSearch) topK(ctx context.Context, q *Query, k int, ascending b
 		Matches: h.ranked(),
 		Scanned: scanned,
 		Elapsed: time.Since(start),
+		Epoch:   ps.epoch,
 	}, nil
 }
 
