@@ -155,9 +155,11 @@ func (ps *preparedSearch) batchScorer() (method.BatchScorer, bool) {
 // the query-major path would prune. It returns the number of entries
 // examined.
 func (ps *preparedSearch) streamBatch(ctx context.Context, queries []*Query, bs method.BatchScorer, emit func(pos int, verdicts []method.Verdict) bool) (int, error) {
+	// Each query's key multiset resolves to interned IDs once per batch
+	// (see the stream comment on why at-or-after prepare is safe).
 	mqs := make([]*method.Query, len(queries))
 	for k, q := range queries {
-		mqs[k] = &method.Query{G: q.g, Branches: q.branches}
+		mqs[k] = &method.Query{G: q.g, Branches: ps.bdict.ResolveMultiset(q.branches)}
 	}
 	if err := bs.PrepareBatch(mqs); err != nil {
 		return 0, err
@@ -172,7 +174,7 @@ func (ps *preparedSearch) streamBatch(ctx context.Context, queries []*Query, bs 
 	process := func(pos int, out []method.Verdict) error {
 		i := ps.idx[pos]
 		for k := range out {
-			out[k] = method.Verdict{Skip: ps.ix != nil && ps.ix.Prunable(sums[k], queries[k].branches, i, ps.opt.Tau)}
+			out[k] = method.Verdict{Skip: ps.ix != nil && ps.ix.Prunable(sums[k], mqs[k].Branches, i, ps.opt.Tau)}
 		}
 		return bs.ScoreEntry(ps.entries[i], out)
 	}

@@ -46,20 +46,35 @@ type Baseline struct {
 	Benchmarks map[string]Benchmark `json:"benchmarks"`
 }
 
-// Benchmark is one gated benchmark's reference numbers.
+// Benchmark is one gated benchmark's reference numbers. AllocsPerOp is
+// recorded when the run was made with -benchmem. A zero-alloc baseline is
+// gated exactly — "still 0 allocs/op" is deterministic, portable across
+// core counts, and the real acceptance signal for kernels whose ns/op
+// sits near timer resolution. Nonzero counts are recorded for reference
+// only: the parallel benches allocate per worker, so their counts vary
+// with GOMAXPROCS and cannot gate a baseline from another machine class.
 type Benchmark struct {
-	NsPerOp float64 `json:"ns_per_op"`
-	Runs    int     `json:"runs"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Runs        int      `json:"runs"`
 }
 
 // benchLine matches one result line of `go test -bench` output. The name's
 // trailing -N is the GOMAXPROCS suffix, stripped so baselines port across
-// machines with different core counts.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// machines with different core counts. The allocs/op column appears with
+// -benchmem and is optional.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
 
-// parseBench collects every run's ns/op per benchmark name.
-func parseBench(r io.Reader) (map[string][]float64, error) {
-	out := make(map[string][]float64)
+// samples accumulates repeated runs of one benchmark.
+type samples struct {
+	ns     []float64
+	allocs []float64 // parallel to ns when -benchmem was on; else empty
+}
+
+// parseBench collects every run's ns/op (and allocs/op when present) per
+// benchmark name.
+func parseBench(r io.Reader) (map[string]*samples, error) {
+	out := make(map[string]*samples)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -71,7 +86,19 @@ func parseBench(r io.Reader) (map[string][]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 		}
-		out[m[1]] = append(out[m[1]], ns)
+		sm := out[m[1]]
+		if sm == nil {
+			sm = &samples{}
+			out[m[1]] = sm
+		}
+		sm.ns = append(sm.ns, ns)
+		if m[3] != "" {
+			allocs, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			sm.allocs = append(sm.allocs, allocs)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -95,16 +122,21 @@ func median(xs []float64) float64 {
 }
 
 // summarize folds raw runs into the Baseline shape.
-func summarize(runs map[string][]float64) Baseline {
+func summarize(runs map[string]*samples) Baseline {
 	b := Baseline{
-		Note:       "median ns/op per benchmark; refresh with: go run ./cmd/benchgate -update (see cmd/benchgate)",
+		Note:       "median ns/op (and allocs/op) per benchmark; refresh with: go run ./cmd/benchgate -update (see cmd/benchgate)",
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		CPUs:       runtime.NumCPU(),
 		Benchmarks: make(map[string]Benchmark, len(runs)),
 	}
-	for name, ns := range runs {
-		b.Benchmarks[name] = Benchmark{NsPerOp: median(ns), Runs: len(ns)}
+	for name, sm := range runs {
+		bench := Benchmark{NsPerOp: median(sm.ns), Runs: len(sm.ns)}
+		if len(sm.allocs) == len(sm.ns) && len(sm.allocs) > 0 {
+			a := median(sm.allocs)
+			bench.AllocsPerOp = &a
+		}
+		b.Benchmarks[name] = bench
 	}
 	return b
 }
@@ -117,7 +149,15 @@ type regression struct {
 
 // compare gates fresh medians against the baseline. It returns the
 // violations and a human-readable report of every gated benchmark.
-func compare(base Baseline, fresh Baseline, threshold float64) (violations []regression, report []string) {
+//
+// Two signals gate independently. ns/op fails beyond the relative
+// threshold AND an absolute slack of slackNs — the slack keeps
+// nanosecond-scale kernel benchmarks (where 15%% is a fraction of timer
+// jitter) from tripping on noise while leaving µs-scale gates as tight as
+// before. allocs/op, when both sides recorded it, is deterministic and
+// fails on ANY increase — the real acceptance signal for the
+// zero-allocation kernels.
+func compare(base Baseline, fresh Baseline, threshold, slackNs float64) (violations []regression, report []string) {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -133,11 +173,17 @@ func compare(base Baseline, fresh Baseline, threshold float64) (violations []reg
 		}
 		ratio := got.NsPerOp / ref.NsPerOp
 		status := "ok"
-		if ratio > 1+threshold {
+		if ratio > 1+threshold && got.NsPerOp-ref.NsPerOp > slackNs {
 			status = "REGRESSION"
 			violations = append(violations, regression{name,
 				fmt.Sprintf("%.0f ns/op vs baseline %.0f (%.0f%%, limit +%.0f%%)",
 					got.NsPerOp, ref.NsPerOp, (ratio-1)*100, threshold*100)})
+		}
+		if ref.AllocsPerOp != nil && *ref.AllocsPerOp == 0 && got.AllocsPerOp != nil && *got.AllocsPerOp > 0 {
+			status = "REGRESSION"
+			violations = append(violations, regression{name,
+				fmt.Sprintf("%.0f allocs/op vs zero-alloc baseline (the 0 allocs/op criterion gates exactly)",
+					*got.AllocsPerOp)})
 		}
 		report = append(report, fmt.Sprintf("%-10s %s: %.0f ns/op vs %.0f (%+.1f%%)",
 			status, name, got.NsPerOp, ref.NsPerOp, (ratio-1)*100))
@@ -203,6 +249,7 @@ func main() {
 		basePath  = flag.String("baseline", "BENCH_baseline.json", "checked-in baseline JSON")
 		outPath   = flag.String("out", "", "write the fresh medians as JSON to this path")
 		threshold = flag.Float64("threshold", 0.15, "fail when ns/op exceeds baseline by this fraction")
+		slackNs   = flag.Float64("slack-ns", 50, "ns/op regressions within this absolute slack never fail (timer jitter on nanosecond kernels)")
 		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
 	)
 	flag.Parse()
@@ -240,7 +287,7 @@ func main() {
 	if warn := envMismatch(base, fresh); warn != "" {
 		fmt.Fprintf(os.Stderr, "benchgate: WARNING: %s — absolute ns/op gates are miscalibrated until the baseline is refreshed with -update on this machine class\n", warn)
 	}
-	violations, report := compare(base, fresh, *threshold)
+	violations, report := compare(base, fresh, *threshold, *slackNs)
 	for _, line := range report {
 		fmt.Println(line)
 	}

@@ -25,15 +25,18 @@ func TestParseBench(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := runs["BenchmarkSearchBatch/queries=1/strategy=query"]
-	if len(q) != 3 {
-		t.Fatalf("query runs = %v, want 3 samples", q)
+	if len(q.ns) != 3 {
+		t.Fatalf("query runs = %v, want 3 samples", q.ns)
 	}
-	if got := median(q); got != 203651 {
+	if got := median(q.ns); got != 203651 {
 		t.Fatalf("median = %v, want 203651", got)
 	}
+	if len(q.allocs) != 3 || q.allocs[0] != 133 {
+		t.Fatalf("query allocs = %v, want 3 samples of 133", q.allocs)
+	}
 	e := runs["BenchmarkSearchBatch/queries=1/strategy=entry"]
-	if len(e) != 1 || e[0] != 205301 {
-		t.Fatalf("entry runs = %v", e)
+	if len(e.ns) != 1 || e.ns[0] != 205301 {
+		t.Fatalf("entry runs = %v", e.ns)
 	}
 	if _, err := parseBench(strings.NewReader("no benchmarks here\n")); err == nil {
 		t.Fatal("empty input accepted")
@@ -47,6 +50,54 @@ func TestMedian(t *testing.T) {
 	}
 	if got := median([]float64{4, 1, 2, 3}); got != 2.5 {
 		t.Fatalf("even median = %v", got)
+	}
+}
+
+// TestCompareSlackAndAllocs: the absolute ns slack absorbs timer jitter
+// on nanosecond kernels without loosening µs-scale gates; a zero-alloc
+// baseline fails on any allocation regardless of timing, while nonzero
+// alloc counts (worker-scaled on parallel benches) never gate.
+func TestCompareSlackAndAllocs(t *testing.T) {
+	zero, three := 0.0, 3.0
+	base := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkKernel_Posterior": {NsPerOp: 3, AllocsPerOp: &zero},
+	}}
+
+	// +33% but only +1 ns: inside the slack, passes.
+	jitter := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkKernel_Posterior": {NsPerOp: 4, AllocsPerOp: &zero},
+	}}
+	if v, _ := compare(base, jitter, 0.15, 50); len(v) != 0 {
+		t.Fatalf("1 ns jitter tripped the gate: %v", v)
+	}
+
+	// A genuine kernel regression clears the slack and fails.
+	slow := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkKernel_Posterior": {NsPerOp: 80, AllocsPerOp: &zero},
+	}}
+	if v, _ := compare(base, slow, 0.15, 50); len(v) != 1 {
+		t.Fatalf("77 ns regression not caught: %v", v)
+	}
+
+	// Allocations reappearing fail even when timing is inside the slack.
+	alloc := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkKernel_Posterior": {NsPerOp: 4, AllocsPerOp: &three},
+	}}
+	if v, _ := compare(base, alloc, 0.15, 50); len(v) != 1 {
+		t.Fatalf("alloc regression not caught: %v", v)
+	}
+
+	// Nonzero alloc baselines are informational: parallel benches allocate
+	// per worker, so a higher count on a bigger machine must not gate.
+	hundred, moreWorkers := 100.0, 140.0
+	parallelBase := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkSearchBatch/queries=1": {NsPerOp: 5000, AllocsPerOp: &hundred},
+	}}
+	parallelFresh := Baseline{Benchmarks: map[string]Benchmark{
+		"BenchmarkSearchBatch/queries=1": {NsPerOp: 5100, AllocsPerOp: &moreWorkers},
+	}}
+	if v, _ := compare(parallelBase, parallelFresh, 0.15, 50); len(v) != 0 {
+		t.Fatalf("worker-scaled alloc count tripped the gate: %v", v)
 	}
 }
 
@@ -78,7 +129,7 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkSearchBatch/queries=64/strategy=entry": {NsPerOp: 1100}, // +10%: within 15%
 		"BenchmarkSearchBatch/queries=64/strategy=query": {NsPerOp: 1500}, // faster: fine
 	}}
-	if v, _ := compare(base, ok, 0.15); len(v) != 0 {
+	if v, _ := compare(base, ok, 0.15, 0); len(v) != 0 {
 		t.Fatalf("within-threshold run tripped the gate: %v", v)
 	}
 
@@ -86,7 +137,7 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkSearchBatch/queries=64/strategy=entry": {NsPerOp: 2000}, // 2× slowdown
 		"BenchmarkSearchBatch/queries=64/strategy=query": {NsPerOp: 2000},
 	}}
-	v, _ := compare(base, slow, 0.15)
+	v, _ := compare(base, slow, 0.15, 0)
 	if len(v) != 1 || v[0].name != "BenchmarkSearchBatch/queries=64/strategy=entry" {
 		t.Fatalf("2x slowdown not caught: %v", v)
 	}
@@ -94,7 +145,7 @@ func TestCompareGate(t *testing.T) {
 	missing := Baseline{Benchmarks: map[string]Benchmark{
 		"BenchmarkSearchBatch/queries=64/strategy=entry": {NsPerOp: 1000},
 	}}
-	if v, _ := compare(base, missing, 0.15); len(v) != 1 {
+	if v, _ := compare(base, missing, 0.15, 0); len(v) != 1 {
 		t.Fatalf("missing benchmark not caught: %v", v)
 	}
 
@@ -103,7 +154,7 @@ func TestCompareGate(t *testing.T) {
 		"BenchmarkSearchBatch/queries=64/strategy=query": {NsPerOp: 2000},
 		"BenchmarkNew/brand-new":                         {NsPerOp: 5},
 	}}
-	v, report := compare(base, extra, 0.15)
+	v, report := compare(base, extra, 0.15, 0)
 	if len(v) != 0 {
 		t.Fatalf("new benchmark tripped the gate: %v", v)
 	}

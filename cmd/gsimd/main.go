@@ -13,9 +13,11 @@
 // -binary); -priors restores offline priors saved by SavePriors, while
 // -build-priors fits them at startup (-tau-max, -pairs) — the two are
 // mutually exclusive. Without either, GBDA-family queries answer 409
-// until priors exist. The server shuts
-// down gracefully on SIGINT/SIGTERM: in-flight requests get -drain to
-// finish, then the listener closes.
+// until priors exist. -pprof exposes net/http/pprof on a separate,
+// opt-in listener (keep it on localhost or behind a firewall; profiles
+// leak internals), leaving the API listener free of debug handlers. The
+// server shuts down gracefully on SIGINT/SIGTERM: in-flight requests get
+// -drain to finish, then the listener closes.
 //
 // Try it:
 //
@@ -33,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -112,12 +115,26 @@ func load(cfg config) (*server.Server, *gsim.Database, error) {
 	return srv, d, nil
 }
 
+// pprofHandler exposes the net/http/pprof endpoints on a private mux, so
+// the profiling listener (-pprof) serves nothing but profiles — the API
+// listener stays free of debug handlers whether or not profiling is on.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8764", "listen address")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-		cfg     config
-		methods = "gbda"
+		addr      = flag.String("addr", ":8764", "listen address")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
+		cfg       config
+		methods   = "gbda"
 	)
 	flag.StringVar(&cfg.dbPath, "db", "", "path to a .gsim text database to preload (empty: start with no graphs)")
 	flag.BoolVar(&cfg.binary, "binary", false, "the -db file is a binary snapshot (see gbda -save-binary)")
@@ -136,6 +153,15 @@ func main() {
 	}
 	log.Printf("gsimd: serving %q (%d graphs, priors=%v, cache=%d) on %s",
 		d.Name(), d.Len(), d.HasPriors(), cfg.cacheSize, *addr)
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("gsimd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofHandler()); err != nil {
+				log.Printf("gsimd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

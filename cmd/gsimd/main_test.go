@@ -129,6 +129,11 @@ func TestSmoke(t *testing.T) {
 		Database struct {
 			Graphs int `json:"graphs"`
 		} `json:"database"`
+		Model struct {
+			PosteriorTables     int   `json:"posterior_tables"`
+			PosteriorTableBytes int64 `json:"posterior_table_bytes"`
+			BranchDictSize      int   `json:"branch_dict_size"`
+		} `json:"model"`
 		Cache struct {
 			Hits          uint64 `json:"hits"`
 			Invalidations uint64 `json:"invalidations"`
@@ -140,5 +145,35 @@ func TestSmoke(t *testing.T) {
 	}
 	if st.Database.Graphs != 13 || st.Epoch == 0 || st.Cache.Hits != 1 {
 		t.Fatalf("stats after ingest: %+v", st)
+	}
+	// The stored chains intern branch shapes; no priors → no tables yet.
+	if st.Model.BranchDictSize == 0 || st.Model.PosteriorTables != 0 {
+		t.Fatalf("model stats: %+v", st.Model)
+	}
+}
+
+// TestPprofHandler drives the opt-in profiling mux (-pprof): the pprof
+// index and cmdline endpoints must answer on it, and it must carry none of
+// the API routes.
+func TestPprofHandler(t *testing.T) {
+	ts := httptest.NewServer(pprofHandler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == 200 {
+		t.Fatal("API route answered on the pprof listener")
 	}
 }

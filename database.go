@@ -357,13 +357,20 @@ func (d *Database) StoreAll(builders []*GraphBuilder) (int, error) {
 	return first, nil
 }
 
-// Query finalises the graph as a search query (precomputing its branch
-// multiset) without storing it.
+// Query finalises the graph as a search query (precomputing its canonical
+// branch multiset) without storing it.
 func (b *GraphBuilder) Query() *Query {
 	return &Query{g: b.g, branches: branch.MultisetOf(b.g)}
 }
 
-// Query is a prepared query graph.
+// Query is a prepared query graph. It carries the canonical (key-form)
+// branch multiset; each search resolves it against the branch dictionary
+// of the snapshot it scans (see preparedSearch), so a Query stays valid
+// across later Stores — branches unknown at resolve time map to per-search
+// ephemeral IDs that are never interned into the shared dictionary, and
+// can match no stored entry (a branch the database has never seen
+// intersects nothing). Query traffic therefore cannot grow the dictionary,
+// mirroring the ephemeral label semantics of NewQuery.
 type Query struct {
 	g        *graph.Graph
 	branches branch.Multiset
@@ -382,7 +389,10 @@ func (d *Database) Query(i int) *Query {
 	d.mu.RLock()
 	e := d.col.Entry(i)
 	d.mu.RUnlock()
-	return &Query{g: e.G, branches: e.Branches}
+	// Entries store interned IDs, not keys; the query form recomputes the
+	// canonical multiset so the Query resolves against whatever snapshot
+	// it later scans (one O(|V|·d) pass per query preparation).
+	return &Query{g: e.G, branches: branch.MultisetOf(e.G)}
 }
 
 // OfflineConfig tunes BuildPriors, the offline stage of Algorithm 1.
@@ -474,6 +484,30 @@ func (d *Database) GEDPriorRow(v int) ([]float64, error) {
 		return nil, ErrNoPriors
 	}
 	return ws.Model(v).GEDPrior(), nil
+}
+
+// BranchDictLen reports the number of distinct branch keys interned by the
+// stored graphs — the size of the shared branch dictionary the interned
+// multisets index into. Query traffic never grows it (unknown query
+// branches stay ephemeral); only Store/Load paths do.
+func (d *Database) BranchDictLen() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.col.BranchDict().Len()
+}
+
+// PosteriorTableStats reports the posterior lookup tables cached on the
+// model workspace — one per (τ̂, variant) search configuration seen since
+// the priors were built — and their aggregate row payload in bytes. Zero
+// before BuildPriors.
+func (d *Database) PosteriorTableStats() (tables int, bytes int64) {
+	d.mu.RLock()
+	ws := d.ws
+	d.mu.RUnlock()
+	if ws == nil {
+		return 0, 0
+	}
+	return ws.TableStats()
 }
 
 // activeIndexes materialises the active scan subset. The caller must hold

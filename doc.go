@@ -82,6 +82,35 @@
 // over sampled pair GBDs — and prepares the per-size Jeffreys priors the
 // posterior integrates over.
 //
+// # The two-table hot path
+//
+// Steady-state pair scoring is lock-free and allocation-free: the cost of
+// a scored pair is one integer merge plus one table lookup.
+//
+// Interned branch IDs. The database layer interns every distinct branch
+// key into a shared dictionary (db.BranchDict) and stores each graph's
+// branch multiset as sorted uint32 IDs — 4 bytes per vertex instead of a
+// string header plus key bytes — so GBD is a linear merge of integers.
+// Queries resolve their key-form multisets against the dictionary at
+// search-prepare time; branches the database has never seen map to
+// per-search ephemeral IDs that are never interned (query traffic cannot
+// grow the dictionary) and match nothing, which is exactly the key
+// semantics. Binary snapshots stay compatible: branch data is derived,
+// and loading re-interns it from the graphs.
+//
+// Posterior tables. The posterior Φ = Pr[GED ≤ τ̂ | GBD = ϕ] depends only
+// on (v, ϕ) for a fixed configuration, and ϕ ≤ 3τ̂ for any reachable pair
+// (Section VI-B), so Prepare folds the whole Λ1·Λ3/Λ2 pipeline into a
+// dense [v][ϕ] table (core.PosteriorTable), cached on the model workspace
+// per (τ̂, variant) and shared by every later search with the same
+// configuration. Scoring a pair indexes the table — no mutex, no GMM
+// evaluation, no allocation; a query size the table has not seen takes a
+// build-once miss path. Building a table also retires the models'
+// per-ϕ caches, which previously grew without bound. /v1/stats reports
+// table count/bytes and the branch-dictionary size; benchmarks
+// BenchmarkKernel_Posterior and BenchmarkKernel_GBD1000 gate the two
+// kernels in CI.
+//
 // # Quick start
 //
 //	d := gsim.NewDatabase("demo")

@@ -15,6 +15,7 @@
 package branch
 
 import (
+	"cmp"
 	"encoding/binary"
 	"sort"
 
@@ -80,8 +81,10 @@ func MultisetOf(g *graph.Graph) Multiset {
 	return ms
 }
 
-// IntersectSize returns |a ∩ b| for sorted multisets via a linear merge.
-func IntersectSize(a, b Multiset) int {
+// intersectSorted returns |a ∩ b| for two multisets sorted under the same
+// total order, via one linear merge — the single implementation behind
+// both the Key and the interned-ID paths.
+func intersectSorted[T cmp.Ordered](a, b []T) int {
 	i, j, n := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -98,15 +101,21 @@ func IntersectSize(a, b Multiset) int {
 	return n
 }
 
+// gbdOf applies Definition 4 / Eq. 1 to precomputed lengths and
+// intersection size: max{|V1|,|V2|} − |B∩B|.
+func gbdOf(la, lb, intersect int) int {
+	if lb > la {
+		la = lb
+	}
+	return la - intersect
+}
+
+// IntersectSize returns |a ∩ b| for sorted multisets via a linear merge.
+func IntersectSize(a, b Multiset) int { return intersectSorted(a, b) }
+
 // GBD computes the Graph Branch Distance between two graphs whose branch
 // multisets have been precomputed (Definition 4, Eq. 1).
-func GBD(a, b Multiset) int {
-	m := len(a)
-	if len(b) > m {
-		m = len(b)
-	}
-	return m - IntersectSize(a, b)
-}
+func GBD(a, b Multiset) int { return gbdOf(len(a), len(b), IntersectSize(a, b)) }
 
 // GBDGraphs computes GBD directly from graphs, building both multisets.
 // Prefer GBD with cached multisets inside search loops.
@@ -122,11 +131,42 @@ func GBDGraphs(g1, g2 *graph.Graph) int {
 // The result is real-valued for fractional w; GBDA-V2 rounds it to the
 // nearest integer before entering the probabilistic model.
 func VGBD(a, b Multiset, w float64) float64 {
-	m := len(a)
-	if len(b) > m {
-		m = len(b)
+	return vgbdOf(len(a), len(b), IntersectSize(a, b), w)
+}
+
+// vgbdOf applies Eq. 26 to precomputed lengths and intersection size.
+func vgbdOf(la, lb, intersect int, w float64) float64 {
+	if lb > la {
+		la = lb
 	}
-	return float64(m) - w*float64(IntersectSize(a, b))
+	return float64(la) - w*float64(intersect)
+}
+
+// IDs is a branch multiset in interned form: one dense uint32 branch ID
+// per vertex, sorted numerically. The db layer's branch dictionary interns
+// each distinct Key once and stores entries this way, so a multiset costs
+// 4 bytes per vertex instead of a string header plus key bytes, and the
+// merges below compare integers instead of strings.
+//
+// Two ID multisets are only comparable when both were resolved through the
+// same dictionary (plus, for queries, a per-query ephemeral overlay — see
+// db.BranchDict.ResolveMultiset). Any shared total order makes the linear
+// merge correct; numeric ID order is used because it needs no key lookups,
+// and intersection size — the only quantity GBD consumes — is order-
+// independent.
+type IDs []uint32
+
+// IntersectSizeIDs returns |a ∩ b| for sorted ID multisets via a linear
+// merge — the integer-compare instantiation of the shared merge.
+func IntersectSizeIDs(a, b IDs) int { return intersectSorted(a, b) }
+
+// GBDIDs computes the Graph Branch Distance from interned multisets
+// (Definition 4, Eq. 1) — the hot-path form of GBD.
+func GBDIDs(a, b IDs) int { return gbdOf(len(a), len(b), IntersectSizeIDs(a, b)) }
+
+// VGBDIDs is VGBD (Eq. 26) over interned multisets.
+func VGBDIDs(a, b IDs, w float64) float64 {
+	return vgbdOf(len(a), len(b), IntersectSizeIDs(a, b), w)
 }
 
 // LowerBoundGED is the classic branch-based GED lower bound used by the

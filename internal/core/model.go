@@ -251,6 +251,25 @@ func (m *Model) inner(phi int) [][]float64 {
 	return table
 }
 
+// ReleaseInner retires the ϕ-cache. Once a posterior table has folded the
+// model's answers into its rows the cached inner tables are dead weight —
+// every distinct ϕ otherwise pins an O(τ̂·m) slice for the model's
+// lifetime — so table construction calls this after building each row.
+// Later Lambda1 calls simply rebuild (and re-cache) what they need.
+func (m *Model) ReleaseInner() {
+	m.mu.Lock()
+	m.innerCache = make(map[int][][]float64)
+	m.mu.Unlock()
+}
+
+// InnerCacheLen reports the number of cached ϕ entries (diagnostics and
+// the cache-retirement tests).
+func (m *Model) InnerCacheLen() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.innerCache)
+}
+
 // Lambda1 returns Λ1(τ, ϕ) = Pr[GBD = ϕ | GED = τ] (Eq. 8 / 27).
 func (m *Model) Lambda1(tau, phi int) float64 {
 	vals := m.Lambda1All(phi)

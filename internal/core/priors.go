@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"gsim/internal/prob"
 )
@@ -118,16 +119,83 @@ func (m *Model) GEDPrior() []float64 {
 }
 
 // Workspace caches Models per extended size v so that searches touching
-// many graph sizes build each model once. Safe for concurrent use.
+// many graph sizes build each model once, and posterior tables per search
+// configuration so that repeated searches share one table. Safe for
+// concurrent use.
 type Workspace struct {
 	Params
 	mu     sync.Mutex
 	models map[int]*Model
+
+	tmu    sync.Mutex
+	tables map[tableKey]*tableSlot
+}
+
+// tableKey identifies one posterior-table configuration: the query
+// threshold plus the only variant knob that changes Φ's value — V1's
+// fixed size. The V2 weight is deliberately NOT part of the key: it only
+// maps the observation (intersection size → ϕ) at lookup time and never
+// enters the rows, so keying on it would let query traffic with arbitrary
+// weights grow the cache without bound. The GBD prior is not part of the
+// key because a Workspace and its prior are built together (see
+// gsim.Database.BuildPriors): one workspace never serves two priors.
+type tableKey struct {
+	tau    int
+	fixedV int
+}
+
+// tableSlot is one cache entry: the once gate lets distinct
+// configurations build concurrently while same-key callers share a single
+// build, and the atomic pointer lets TableStats observe slots without
+// racing an in-flight build.
+type tableSlot struct {
+	once sync.Once
+	t    atomic.Pointer[PosteriorTable]
 }
 
 // NewWorkspace returns an empty model cache for the given parameters.
 func NewWorkspace(p Params) *Workspace {
-	return &Workspace{Params: p, models: make(map[int]*Model)}
+	return &Workspace{Params: p, models: make(map[int]*Model), tables: make(map[tableKey]*tableSlot)}
+}
+
+// PosteriorTable returns the cached posterior table for the searcher's
+// configuration at threshold tau, building it (with rows for every size in
+// sizes) on first use. s must have been assembled over this workspace.
+// The build — the only expensive part — runs once per configuration,
+// outside the tables mutex, so a slow build never blocks lookups of other
+// configurations; see PosteriorTable for the per-pair lookup contract.
+func (w *Workspace) PosteriorTable(s *Searcher, tau int, sizes []int) *PosteriorTable {
+	if tau > w.TauMax {
+		tau = w.TauMax
+	}
+	key := tableKey{tau: tau, fixedV: s.FixedV}
+	w.tmu.Lock()
+	slot, ok := w.tables[key]
+	if !ok {
+		slot = &tableSlot{}
+		w.tables[key] = slot
+	}
+	w.tmu.Unlock()
+	slot.once.Do(func() { slot.t.Store(NewPosteriorTable(s, tau, sizes)) })
+	return slot.t.Load()
+}
+
+// TableStats reports the cached posterior tables and their aggregate row
+// payload in bytes (the serving layer's /v1/stats). Slots whose build is
+// still in flight are skipped.
+func (w *Workspace) TableStats() (tables int, bytes int64) {
+	w.tmu.Lock()
+	defer w.tmu.Unlock()
+	for _, slot := range w.tables {
+		t := slot.t.Load()
+		if t == nil {
+			continue
+		}
+		_, b := t.Stats()
+		tables++
+		bytes += b
+	}
+	return tables, bytes
 }
 
 // Model returns the cached model for extended size v, building it on first

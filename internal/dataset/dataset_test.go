@@ -59,7 +59,7 @@ func TestGenerateDeterministic(t *testing.T) {
 		t.Fatal("non-deterministic graph count")
 	}
 	for i := 0; i < a.Col.Len(); i++ {
-		if d := branch.GBD(a.Col.Entry(i).Branches, b.Col.Entry(i).Branches); d != 0 {
+		if d := branch.GBDGraphs(a.Col.Graph(i), b.Col.Graph(i)); d != 0 {
 			t.Fatalf("graph %d differs across identical seeds", i)
 		}
 	}

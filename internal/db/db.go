@@ -11,6 +11,7 @@ import (
 	"io"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -18,44 +19,68 @@ import (
 	"gsim/internal/graph"
 )
 
-// Entry is one stored graph together with its precomputed branch index.
+// Entry is one stored graph together with its precomputed branch index in
+// interned form: sorted uint32 branch IDs resolved through the
+// collection's BranchDict — 4 bytes per vertex, merged by integer
+// comparison on the scan hot path.
 type Entry struct {
 	G        *graph.Graph
-	Branches branch.Multiset
+	Branches branch.IDs
 }
 
 // Collection is an in-memory graph database. All graphs intern their labels
 // through the collection's shared dictionary, so label IDs are comparable
-// across graphs. Adding graphs is not safe for concurrent use; reading and
-// scanning are.
+// across graphs; branch keys intern likewise through a shared branch
+// dictionary, so branch multisets compare as integers. Adding graphs is
+// not safe for concurrent use; reading and scanning are.
 type Collection struct {
 	Name    string
 	Dict    *graph.Labels
 	entries []*Entry
+	bdict   *BranchDict
 
 	vLabels map[graph.ID]struct{} // distinct non-ε vertex labels seen
 	eLabels map[graph.ID]struct{} // distinct non-ε edge labels seen
+	sizes   map[int]int           // vertex-count histogram of stored graphs
 	maxV    int
 	maxE    int
 	sumDeg  float64
 }
 
-// New returns an empty collection with a fresh label dictionary.
+// New returns an empty collection with fresh label and branch dictionaries.
 func New(name string) *Collection {
 	return &Collection{
 		Name:    name,
 		Dict:    graph.NewLabels(),
+		bdict:   NewBranchDict(),
 		vLabels: make(map[graph.ID]struct{}),
 		eLabels: make(map[graph.ID]struct{}),
+		sizes:   make(map[int]int),
 	}
 }
 
-// Add stores g, computing and retaining its branch multiset and updating
+// BranchDict returns the shared branch dictionary — query preparation
+// resolves against it (ResolveMultiset) without interning.
+func (c *Collection) BranchDict() *BranchDict { return c.bdict }
+
+// DistinctSizes returns the distinct vertex counts of stored graphs,
+// ascending — the sizes a posterior table prebuilds rows for.
+func (c *Collection) DistinctSizes() []int {
+	out := make([]int, 0, len(c.sizes))
+	for v := range c.sizes {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Add stores g, computing and interning its branch multiset and updating
 // the collection statistics. The graph must have been built against the
 // collection's dictionary.
 func (c *Collection) Add(g *graph.Graph) *Entry {
-	e := &Entry{G: g, Branches: branch.MultisetOf(g)}
+	e := &Entry{G: g, Branches: c.bdict.InternMultiset(branch.MultisetOf(g))}
 	c.entries = append(c.entries, e)
+	c.sizes[g.NumVertices()]++
 	if g.NumVertices() > c.maxV {
 		c.maxV = g.NumVertices()
 	}
@@ -147,7 +172,7 @@ func (c *Collection) SamplePairGBDs(n int, seed int64) []float64 {
 	out := make([]float64, n)
 	c.parallel(n, func(i int) {
 		p := pairs[i]
-		out[i] = float64(branch.GBD(c.entries[p.a].Branches, c.entries[p.b].Branches))
+		out[i] = float64(branch.GBDIDs(c.entries[p.a].Branches, c.entries[p.b].Branches))
 	})
 	return out
 }

@@ -70,13 +70,18 @@ func TestBranchIndexMatchesRecompute(t *testing.T) {
 	c := testCollection(t, 20)
 	for i := 0; i < c.Len(); i++ {
 		e := c.Entry(i)
-		fresh := branch.MultisetOf(e.G)
+		// Every stored key was interned at Add, so resolving the fresh
+		// multiset must reproduce the stored IDs exactly — no ephemerals.
+		fresh := c.BranchDict().ResolveMultiset(branch.MultisetOf(e.G))
 		if len(fresh) != len(e.Branches) {
 			t.Fatalf("graph %d: index length %d vs %d", i, len(e.Branches), len(fresh))
 		}
 		for j := range fresh {
 			if fresh[j] != e.Branches[j] {
 				t.Fatalf("graph %d: stale branch index", i)
+			}
+			if fresh[j] >= EphemeralBranchBase {
+				t.Fatalf("graph %d: stored branch resolved to ephemeral ID %d", i, fresh[j])
 			}
 		}
 	}
@@ -181,7 +186,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	// GBD between corresponding graphs must be zero, and the recomputed
 	// stats must agree.
 	for i := 0; i < c.Len(); i++ {
-		if d := branch.GBD(c.Entry(i).Branches, back.Entry(i).Branches); d != 0 {
+		if d := branch.GBDGraphs(c.Graph(i), back.Graph(i)); d != 0 {
 			t.Fatalf("graph %d changed in round trip (GBD %d)", i, d)
 		}
 	}
@@ -211,7 +216,7 @@ func TestBinarySnapshotRoundTrip(t *testing.T) {
 		if !c.Graph(i).Equal(back.Graph(i)) {
 			t.Fatalf("graph %d changed in binary round trip", i)
 		}
-		if d := branch.GBD(c.Entry(i).Branches, back.Entry(i).Branches); d != 0 {
+		if d := branch.GBDGraphs(c.Graph(i), back.Graph(i)); d != 0 {
 			t.Fatalf("branch index drifted for graph %d", i)
 		}
 	}
@@ -241,7 +246,7 @@ func TestBinaryAndTextAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < c.Len(); i++ {
-		if d := branch.GBD(fromBin.Entry(i).Branches, fromTxt.Entry(i).Branches); d != 0 {
+		if d := branch.GBDGraphs(fromBin.Graph(i), fromTxt.Graph(i)); d != 0 {
 			t.Fatalf("binary and text loads disagree on graph %d", i)
 		}
 	}

@@ -1,0 +1,102 @@
+package db
+
+import (
+	"sort"
+	"sync"
+
+	"gsim/internal/branch"
+)
+
+// EphemeralBranchBase is the first ID of the per-query overlay range:
+// branch keys a query graph exhibits that the shared dictionary has never
+// seen resolve to IDs at or above this base (ResolveMultiset), while
+// stored entries only ever carry interned IDs below it — so an unknown
+// query branch can never collide with a stored one, which is exactly the
+// Key semantics (a branch the database has never seen matches nothing).
+const EphemeralBranchBase = uint32(1) << 31
+
+// BranchDict interns canonical branch Keys to dense uint32 IDs shared by
+// every entry of one collection, so branch isomorphism (Definition 3) is
+// integer equality and per-entry multisets shrink to 4 bytes per vertex.
+// It is safe for concurrent use; query-time resolution takes only a read
+// lock.
+type BranchDict struct {
+	mu  sync.RWMutex
+	ids map[branch.Key]uint32
+}
+
+// NewBranchDict returns an empty dictionary.
+func NewBranchDict() *BranchDict {
+	return &BranchDict{ids: make(map[branch.Key]uint32)}
+}
+
+// Len reports the number of distinct interned branch keys.
+func (d *BranchDict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.ids)
+}
+
+// Lookup returns the ID for k without interning.
+func (d *BranchDict) Lookup(k branch.Key) (uint32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.ids[k]
+	return id, ok
+}
+
+// InternMultiset resolves a Key multiset into sorted interned IDs,
+// assigning fresh IDs to unseen keys — the store path, called once per
+// Add. The interned universe is capped at EphemeralBranchBase entries so
+// stored IDs and ephemeral query IDs can never meet; 2³¹ distinct branch
+// shapes is far beyond any real collection.
+func (d *BranchDict) InternMultiset(ms branch.Multiset) branch.IDs {
+	out := make(branch.IDs, len(ms))
+	d.mu.Lock()
+	for i, k := range ms {
+		id, ok := d.ids[k]
+		if !ok {
+			if uint32(len(d.ids)) >= EphemeralBranchBase {
+				d.mu.Unlock()
+				panic("db: branch dictionary exhausted (2^31 distinct branches)")
+			}
+			id = uint32(len(d.ids))
+			d.ids[k] = id
+		}
+		out[i] = id
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ResolveMultiset resolves a Key multiset into sorted IDs without growing
+// the dictionary — the query path. Keys the dictionary knows map to their
+// shared IDs; unknown keys get per-call ephemeral IDs from the overlay
+// range, consistent within the call (two equal unknown branches share one
+// ID, preserving multiset counts) and guaranteed to match no stored entry.
+// A long-running server answering arbitrary queries therefore never grows
+// the shared dictionary.
+func (d *BranchDict) ResolveMultiset(ms branch.Multiset) branch.IDs {
+	out := make(branch.IDs, len(ms))
+	var eph map[branch.Key]uint32
+	d.mu.RLock()
+	for i, k := range ms {
+		if id, ok := d.ids[k]; ok {
+			out[i] = id
+			continue
+		}
+		if eph == nil {
+			eph = make(map[branch.Key]uint32)
+		}
+		id, ok := eph[k]
+		if !ok {
+			id = EphemeralBranchBase + uint32(len(eph))
+			eph[k] = id
+		}
+		out[i] = id
+	}
+	d.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

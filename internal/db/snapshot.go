@@ -11,7 +11,13 @@ import (
 // Binary snapshots: a gob encoding of the whole collection that loads an
 // order of magnitude faster than the text codec for the synthetic datasets
 // (100K-vertex graphs). Branch indexes are recomputed on load — they are
-// derived data, and recomputation keeps the format stable.
+// derived data, and recomputation keeps the format stable. That choice is
+// what keeps the interned-branch-ID representation compatible with
+// existing snapshot files: the format has no branch section to version,
+// and LoadBinary re-interns every multiset through the fresh collection's
+// branch dictionary as Add rebuilds it (the "re-intern on load" half of
+// the compatibility story; a dictionary section would only cache what a
+// linear pass re-derives).
 
 type flatGraph struct {
 	Name    string

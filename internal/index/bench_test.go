@@ -3,7 +3,6 @@ package index
 import (
 	"testing"
 
-	"gsim/internal/branch"
 	"gsim/internal/dataset"
 )
 
@@ -44,7 +43,7 @@ func BenchmarkLowerBoundPair(b *testing.B) {
 	ds := benchDataset(b)
 	ix := Build(ds.Col)
 	qs := ix.Summary(0)
-	qb := branch.Multiset(ds.Col.Entry(0).Branches)
+	qb := ds.Col.Entry(0).Branches
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = ix.LowerBound(qs, qb, 1+i%(ix.Len()-1))

@@ -134,18 +134,19 @@ func (ix *Index) Synced() *Index {
 func (ix *Index) Summary(i int) Summary { return ix.sums[i] }
 
 // LowerBound computes the composite lower bound — size, label and branch
-// layers — between a prepared query (summary + branch multiset) and the
-// indexed graph i.
-func (ix *Index) LowerBound(q Summary, qBranches branch.Multiset, i int) int {
+// layers — between a prepared query (summary + interned branch multiset,
+// resolved through the collection's branch dictionary) and the indexed
+// graph i.
+func (ix *Index) LowerBound(q Summary, qBranches branch.IDs, i int) int {
 	lb := q.LowerBound(ix.sums[i])
-	if bb := branch.LowerBoundGED(branch.GBD(qBranches, ix.col.Entry(i).Branches)); bb > lb {
+	if bb := branch.LowerBoundGED(branch.GBDIDs(qBranches, ix.col.Entry(i).Branches)); bb > lb {
 		lb = bb
 	}
 	return lb
 }
 
 // Prunable reports whether graph i provably violates GED ≤ tau.
-func (ix *Index) Prunable(q Summary, qBranches branch.Multiset, i, tau int) bool {
+func (ix *Index) Prunable(q Summary, qBranches branch.IDs, i, tau int) bool {
 	return ix.LowerBound(q, qBranches, i) > tau
 }
 
@@ -156,7 +157,7 @@ type Stats struct {
 }
 
 // Pruning evaluates the layered filter over the whole index.
-func (ix *Index) Pruning(q Summary, qBranches branch.Multiset, tau int) Stats {
+func (ix *Index) Pruning(q Summary, qBranches branch.IDs, tau int) Stats {
 	st := Stats{Total: len(ix.sums)}
 	for i, s := range ix.sums {
 		sizeLB := abs(q.V - s.V)
@@ -171,7 +172,7 @@ func (ix *Index) Pruning(q Summary, qBranches branch.Multiset, tau int) Stats {
 			st.LabelPruned++
 			continue
 		}
-		if branch.LowerBoundGED(branch.GBD(qBranches, ix.col.Entry(i).Branches)) > tau {
+		if branch.LowerBoundGED(branch.GBDIDs(qBranches, ix.col.Entry(i).Branches)) > tau {
 			st.BranchPruned++
 			continue
 		}

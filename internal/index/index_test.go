@@ -46,7 +46,7 @@ func TestQuickLowerBoundIsAdmissible(t *testing.T) {
 		col := db.New("t")
 		col.Add(b)
 		ix := Build(col)
-		return ix.LowerBound(sa, branch.MultisetOf(a), 0) <= exact
+		return ix.LowerBound(sa, col.BranchDict().ResolveMultiset(branch.MultisetOf(a)), 0) <= exact
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"gsim/internal/branch"
-	"gsim/internal/core"
 	"gsim/internal/db"
 	"gsim/internal/ged"
 )
@@ -43,10 +42,12 @@ func (x *exactScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
 }
 
 // hybridScorer runs the GBDA filter and then verifies small candidates with
-// exact A*, the filter-verify extension of Section VIII-A.
+// exact A*, the filter-verify extension of Section VIII-A. Its filter
+// stage shares the GBDA table hot path: posterior by lookup, branch
+// distance by integer merge.
 type hybridScorer struct {
-	s   *core.Searcher
-	opt Options
+	table *lazyTable
+	opt   Options
 }
 
 func (h *hybridScorer) Prepare(d *DB, opt Options) error {
@@ -54,15 +55,15 @@ func (h *hybridScorer) Prepare(d *DB, opt Options) error {
 	if err != nil {
 		return err
 	}
-	h.s, h.opt = s, opt
+	h.table, h.opt = newLazyTable(d, s, opt), opt
 	return nil
 }
 
 func (h *hybridScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
 	countEntryDecomp()
 	vmax := maxInt(q.G.NumVertices(), e.G.NumVertices())
-	phi := branch.GBD(q.Branches, e.Branches)
-	post := h.s.PosteriorTau(vmax, phi, h.opt.Tau)
+	phi := branch.GBDIDs(q.Branches, e.Branches)
+	post := h.table.get().Posterior(vmax, phi)
 	if post < h.opt.Gamma {
 		return false, post, nil
 	}

@@ -2,6 +2,7 @@ package method
 
 import (
 	"fmt"
+	"sync"
 
 	"gsim/internal/branch"
 	"gsim/internal/core"
@@ -25,10 +26,12 @@ func init() {
 
 // gbdaScorer is the paper's Algorithm 1 — the probabilistic GED-from-GBD
 // posterior thresholded at γ — and its V1 (fixed |V'1|) and V2 (weighted
-// VGBD observation) variants.
+// VGBD observation) variants. Scoring is allocation- and lock-free in
+// steady state: the posterior comes from a precomputed (v, ϕ) table and
+// the branch distance from an integer merge of interned multisets.
 type gbdaScorer struct {
 	variant ID
-	s       *core.Searcher
+	table   *lazyTable
 	opt     Options
 	batch   []*Query // workload of an entry-major scan; see PrepareBatch
 }
@@ -45,6 +48,34 @@ func preparePosterior(d *DB, opt Options) (*core.Searcher, error) {
 	return &core.Searcher{WS: d.WS, GBD: d.GBDPrior}, nil
 }
 
+// lazyTable defers the workspace posterior-table fetch from Prepare —
+// which runs under the database read lock — to the first scored pair,
+// which runs lock-free during the scan: a cold table build for a
+// collection with many distinct sizes takes real time, and paying it
+// inside the lock would stall every concurrent mutation. The inputs are
+// snapshotted at Prepare (DistinctSizes reads collection state the lock
+// protects); the once gate makes the deferred build race-free and its
+// fast path is one atomic load per pair.
+type lazyTable struct {
+	once  sync.Once
+	ws    *core.Workspace
+	s     *core.Searcher
+	tau   int
+	sizes []int
+	t     *core.PosteriorTable
+}
+
+// newLazyTable captures the table inputs under the Prepare lock.
+func newLazyTable(d *DB, s *core.Searcher, opt Options) *lazyTable {
+	return &lazyTable{ws: d.WS, s: s, tau: opt.Tau, sizes: d.DistinctSizes()}
+}
+
+// get returns the table, building it on first use.
+func (l *lazyTable) get() *core.PosteriorTable {
+	l.once.Do(func() { l.t = l.ws.PosteriorTable(l.s, l.tau, l.sizes) })
+	return l.t
+}
+
 func (g *gbdaScorer) Prepare(d *DB, opt Options) error {
 	s, err := preparePosterior(d, opt)
 	if err != nil {
@@ -56,7 +87,7 @@ func (g *gbdaScorer) Prepare(d *DB, opt Options) error {
 	case GBDAV2:
 		s.Weight = opt.V2Weight
 	}
-	g.s, g.opt = s, opt
+	g.table, g.opt = newLazyTable(d, s, opt), opt
 	return nil
 }
 
@@ -68,20 +99,23 @@ func (g *gbdaScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
 
 func (g *gbdaScorer) score(q *Query, e *db.Entry) (bool, float64) {
 	vmax := maxInt(q.G.NumVertices(), e.G.NumVertices())
+	t := g.table.get()
 	var post float64
 	if g.variant == GBDAV2 {
-		inter := branch.IntersectSize(q.Branches, e.Branches)
-		post = g.s.PosteriorVGBDTau(vmax, inter, g.opt.Tau)
+		inter := branch.IntersectSizeIDs(q.Branches, e.Branches)
+		post = t.PosteriorVGBD(vmax, inter, g.opt.V2Weight)
 	} else {
-		phi := branch.GBD(q.Branches, e.Branches)
-		post = g.s.PosteriorTau(vmax, phi, g.opt.Tau)
+		phi := branch.GBDIDs(q.Branches, e.Branches)
+		post = t.Posterior(vmax, phi)
 	}
 	return g.opt.CollectAll || post >= g.opt.Gamma, post
 }
 
-// PrepareBatch captures the workload for entry-major scans.
+// PrepareBatch captures the workload for entry-major scans and warms the
+// posterior table while no scan worker is waiting.
 func (g *gbdaScorer) PrepareBatch(queries []*Query) error {
 	g.batch = queries
+	g.table.get()
 	return nil
 }
 

@@ -78,6 +78,10 @@ func (d *DB) ActiveLen() int {
 	return len(d.Active)
 }
 
+// DistinctSizes lists the distinct vertex counts of stored graphs — the
+// sizes a posterior table prebuilds rows for at Prepare time.
+func (d *DB) DistinctSizes() []int { return d.Col.DistinctSizes() }
+
 // activeGraph returns the i-th graph of the active subset.
 func (d *DB) activeGraph(i int) *graph.Graph {
 	if d.Active == nil {
@@ -124,10 +128,13 @@ type Options struct {
 	CollectAll bool
 }
 
-// Query is a prepared query graph with its precomputed branch multiset.
+// Query is a prepared query graph with its branch multiset in interned
+// form: IDs resolved through the database's branch dictionary, with
+// ephemeral overlay IDs for branches the database has never seen (see
+// db.BranchDict.ResolveMultiset).
 type Query struct {
 	G        *graph.Graph
-	Branches branch.Multiset
+	Branches branch.IDs
 }
 
 // Scorer decides, for one candidate graph, whether it belongs in the

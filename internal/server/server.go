@@ -145,9 +145,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 type statsResponse struct {
 	Database dbStats      `json:"database"`
 	Priors   priorStats   `json:"priors"`
+	Model    modelStats   `json:"model"`
 	Epoch    uint64       `json:"epoch"`
 	Cache    cacheStats   `json:"cache"`
 	Server   serverCounts `json:"server"`
+}
+
+// modelStats surfaces the steady-state hot-path artifacts: the posterior
+// lookup tables cached per search configuration and the interned branch
+// dictionary entries stored multisets index into.
+type modelStats struct {
+	PosteriorTables     int   `json:"posterior_tables"`
+	PosteriorTableBytes int64 `json:"posterior_table_bytes"`
+	BranchDictSize      int   `json:"branch_dict_size"`
 }
 
 type dbStats struct {
@@ -184,6 +194,7 @@ type serverCounts struct {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.db.Stats()
 	cs := s.cache.Stats()
+	tables, tableBytes := s.db.PosteriorTableStats()
 	resp := statsResponse{
 		Database: dbStats{
 			Name:      s.db.Name(),
@@ -196,7 +207,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			LE:        st.LE,
 		},
 		Priors: priorStats{Built: s.db.HasPriors(), TauMax: s.db.TauMax()},
-		Epoch:  s.db.Epoch(),
+		Model: modelStats{
+			PosteriorTables:     tables,
+			PosteriorTableBytes: tableBytes,
+			BranchDictSize:      s.db.BranchDictLen(),
+		},
+		Epoch: s.db.Epoch(),
 		Cache: cacheStats{
 			Len:           cs.Len,
 			Cap:           cs.Cap,

@@ -266,6 +266,11 @@ func TestCacheHitAndEpochInvalidation(t *testing.T) {
 	if st.Cache.Hits != 1 {
 		t.Fatalf("cache hits = %d, want 1 (stats: %+v)", st.Cache.Hits, st.Cache)
 	}
+	// The GBDA search built a posterior table, and the stored graphs
+	// interned branch shapes — both surface in the model section.
+	if st.Model.PosteriorTables == 0 || st.Model.PosteriorTableBytes <= 0 || st.Model.BranchDictSize == 0 {
+		t.Fatalf("model stats not populated after a GBDA search: %+v", st.Model)
+	}
 	epochBefore := st.Epoch
 
 	// Mutate: ingest one graph as .gsim text.

@@ -11,10 +11,12 @@ import (
 
 // priorSnapshot is the serialised form of the offline artifacts: the GMM
 // parameters of the GBD prior plus the model dimensions. Jeffreys-prior
-// tables are deliberately not stored — they are deterministic functions of
-// (v, LV, LE, τ̂) and rebuild lazily in milliseconds per size — so the
-// snapshot stays a few hundred bytes, matching the paper's Table IV/V
-// space budget.
+// tables — and the posterior lookup tables derived from them — are
+// deliberately not stored: both are deterministic functions of
+// (v, LV, LE, τ̂) and the fitted prior, and rebuild lazily in milliseconds
+// per size at the first search after LoadPriors. The snapshot therefore
+// stays a few hundred bytes (the paper's Table IV/V space budget) and the
+// format needs no version bump as the in-memory representations evolve.
 type priorSnapshot struct {
 	TauMax  int
 	LV, LE  int

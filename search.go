@@ -217,10 +217,11 @@ type preparedSearch struct {
 	opt     SearchOptions
 	info    method.Info
 	scorer  method.Scorer
-	idx     []int        // active collection indexes
-	entries []*db.Entry  // collection view at prepare time; scans index this, never the live collection
-	epoch   uint64       // database epoch the snapshot was taken at
-	ix      *index.Index // non-nil iff opt.Prefilter
+	idx     []int          // active collection indexes
+	entries []*db.Entry    // collection view at prepare time; scans index this, never the live collection
+	bdict   *db.BranchDict // branch dictionary queries resolve against (append-only; covers every snapshot entry)
+	epoch   uint64         // database epoch the snapshot was taken at
+	ix      *index.Index   // non-nil iff opt.Prefilter
 }
 
 // prepare validates opt against the database state and readies a scorer.
@@ -251,6 +252,7 @@ func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 		scorer:  scorer,
 		idx:     d.activeIndexes(),
 		entries: d.col.Entries(),
+		bdict:   d.col.BranchDict(),
 		epoch:   d.epoch,
 	}
 	if opt.Prefilter {
@@ -263,14 +265,20 @@ func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 // to emit (serialised, position-tagged, unordered). It returns the number
 // of graphs examined.
 func (ps *preparedSearch) stream(ctx context.Context, q *Query, emit func(pos int, m Match) bool) (int, error) {
-	mq := &method.Query{G: q.g, Branches: q.branches}
+	// Resolve the query's key-form multiset into interned IDs once per
+	// scan: the dictionary only grows, and every key a snapshot entry uses
+	// was interned before the snapshot was taken, so resolving at-or-after
+	// prepare can never miss a match. Unknown keys get ephemeral IDs that
+	// match nothing — exactly the key semantics.
+	qids := ps.bdict.ResolveMultiset(q.branches)
+	mq := &method.Query{G: q.g, Branches: qids}
 	var qs index.Summary
 	if ps.ix != nil {
 		qs = index.Summarize(q.g)
 	}
 	process := func(pos int) (Match, bool, error) {
 		i := ps.idx[pos]
-		if ps.ix != nil && ps.ix.Prunable(qs, q.branches, i, ps.opt.Tau) {
+		if ps.ix != nil && ps.ix.Prunable(qs, qids, i, ps.opt.Tau) {
 			return Match{}, false, nil
 		}
 		e := ps.entries[i]
