@@ -146,7 +146,7 @@ func (ps *preparedSearch) batchScorer() (method.BatchScorer, bool) {
 	}
 }
 
-// streamBatch runs one entry-major scan over the active subset: bs is
+// streamBatch runs one entry-major scan over the flat cut: bs is
 // prepared with the whole workload, then every entry's verdict vector is
 // fed to emit (serialised, position-tagged, unordered; the vector is
 // reused, so emit must copy what it retains). With Prefilter, each
@@ -165,39 +165,40 @@ func (ps *preparedSearch) streamBatch(ctx context.Context, queries []*Query, bs 
 		return 0, err
 	}
 	var sums []index.Summary
-	if ps.ix != nil {
+	if ps.opt.Prefilter {
 		sums = make([]index.Summary, len(queries))
 		for k, q := range queries {
 			sums[k] = index.Summarize(q.g)
 		}
 	}
 	process := func(pos int, out []method.Verdict) error {
-		i := ps.idx[pos]
+		e := ps.entries[pos]
 		for k := range out {
-			out[k] = method.Verdict{Skip: ps.ix != nil && ps.ix.Prunable(sums[k], mqs[k].Branches, i, ps.opt.Tau)}
+			out[k] = method.Verdict{Skip: ps.opt.Prefilter && index.PairPrunable(sums[k], mqs[k].Branches, ps.sums[pos], e, ps.opt.Tau)}
 		}
-		return bs.ScoreEntry(ps.entries[i], out)
+		return bs.ScoreEntry(e, out)
 	}
-	return engine.ScanBatch(ctx, len(ps.idx), len(queries), engine.Options{Workers: ps.opt.Workers}, process, emit)
+	return engine.ScanBatch(ctx, len(ps.entries), len(queries), engine.Options{Workers: ps.opt.Workers}, process, emit)
 }
 
-// collectBatch gathers an entry-major scan into per-query Results (matches
-// in scan order, as collect produces) and hands them to fn in query order.
+// collectBatch gathers an entry-major scan into per-query Results
+// (matches in deterministic output order, as collect produces) and hands
+// them to fn in query order.
 func (ps *preparedSearch) collectBatch(ctx context.Context, queries []*Query, bs method.BatchScorer, fn func(i int, res *Result) error) error {
 	start := time.Now()
 	type hit struct {
-		pos int
+		key int
 		m   Match
 	}
 	hits := make([][]hit, len(queries))
 	scanned, err := ps.streamBatch(ctx, queries, bs, func(pos int, verdicts []method.Verdict) bool {
-		i := ps.idx[pos]
-		e := ps.entries[i]
+		e := ps.entries[pos]
+		key := ps.key(pos)
 		for k, v := range verdicts {
 			if v.Skip || !v.Keep {
 				continue
 			}
-			hits[k] = append(hits[k], hit{pos, Match{Index: i, Name: e.G.Name, Score: v.Score}})
+			hits[k] = append(hits[k], hit{key, Match{Index: int(e.ID), Name: e.G.Name, Score: v.Score}})
 		}
 		return true
 	})
@@ -207,7 +208,7 @@ func (ps *preparedSearch) collectBatch(ctx context.Context, queries []*Query, bs
 	elapsed := time.Since(start)
 	for k := range queries {
 		qh := hits[k]
-		sort.Slice(qh, func(a, b int) bool { return qh[a].pos < qh[b].pos })
+		sort.Slice(qh, func(a, b int) bool { return qh[a].key < qh[b].key })
 		matches := make([]Match, len(qh))
 		for i, h := range qh {
 			matches[i] = h.m

@@ -10,10 +10,15 @@
 //	gsimd -addr :8764                  # start empty, fill via /v1/graphs
 //
 // The dataset preloads from -db (.gsim text, or a binary snapshot with
-// -binary); -priors restores offline priors saved by SavePriors, while
+// -binary) into a store partitioned over -shards shards (default
+// GOMAXPROCS) — concurrent ingest, DELETE /v1/graphs/{id} and
+// update-by-re-POST commit per shard while searches scan consistent
+// snapshots. -priors restores offline priors saved by SavePriors, while
 // -build-priors fits them at startup (-tau-max, -pairs) — the two are
-// mutually exclusive. Without either, GBDA-family queries answer 409
-// until priors exist. -pprof exposes net/http/pprof on a separate,
+// mutually exclusive; -warm τ̂ additionally pre-builds the posterior
+// lookup table for the expected query threshold so the first request
+// after boot already runs the steady-state path. Without priors,
+// GBDA-family queries answer 409 until they exist. -pprof exposes net/http/pprof on a separate,
 // opt-in listener (keep it on localhost or behind a firewall; profiles
 // leak internals), leaving the API listener free of debug handlers. The
 // server shuts down gracefully on SIGINT/SIGTERM: in-flight requests get
@@ -57,6 +62,8 @@ type config struct {
 	cacheSize   int
 	method      string
 	workers     int
+	shards      int
+	warmTau     int
 }
 
 // load assembles the served database and server from cfg.
@@ -68,7 +75,7 @@ func load(cfg config) (*server.Server, *gsim.Database, error) {
 	if name == "" {
 		name = "gsimd"
 	}
-	d := gsim.NewDatabase(name)
+	d := gsim.NewDatabaseShards(name, cfg.shards)
 	if cfg.dbPath != "" {
 		f, err := os.Open(cfg.dbPath)
 		if err != nil {
@@ -104,6 +111,14 @@ func load(cfg config) (*server.Server, *gsim.Database, error) {
 		var err error
 		if m, err = gsim.ParseMethod(cfg.method); err != nil {
 			return nil, nil, err
+		}
+	}
+	if cfg.warmTau != 0 {
+		// Build the posterior table for the expected query threshold now,
+		// so the first request after boot runs the steady-state two-table
+		// path instead of paying the cold build.
+		if err := d.WarmPosteriorTables(cfg.warmTau); err != nil {
+			return nil, nil, fmt.Errorf("-warm %d: %w", cfg.warmTau, err)
 		}
 	}
 	srv := server.New(server.Config{
@@ -145,6 +160,8 @@ func main() {
 	flag.IntVar(&cfg.cacheSize, "cache", 1024, "result cache entries (0 disables caching)")
 	flag.StringVar(&cfg.method, "method", methods, "default search method for requests that omit one")
 	flag.IntVar(&cfg.workers, "workers", 0, "default scan workers per request (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.shards, "shards", 0, "storage shards for the resident database (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.warmTau, "warm", 0, "pre-build the posterior table for this τ̂ at startup (0 = off; needs priors)")
 	flag.Parse()
 
 	srv, d, err := load(cfg)

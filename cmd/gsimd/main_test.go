@@ -177,3 +177,39 @@ func TestPprofHandler(t *testing.T) {
 		t.Fatal("API route answered on the pprof listener")
 	}
 }
+
+// TestWarmAndShards: -shards sizes the store's partition count, and
+// -warm pre-builds the posterior table for the configured τ̂ at startup —
+// the table exists before the first query arrives. A -warm without
+// priors, or beyond the prior ceiling, refuses to boot.
+func TestWarmAndShards(t *testing.T) {
+	srv, d, err := load(config{
+		dbPath:      writeTestDB(t),
+		buildPriors: true,
+		tauMax:      4,
+		pairs:       500,
+		shards:      3,
+		warmTau:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv == nil {
+		t.Fatal("no server")
+	}
+	if d.NumShards() != 3 {
+		t.Fatalf("NumShards = %d, want 3", d.NumShards())
+	}
+	if tables, bytes := d.PosteriorTableStats(); tables != 1 || bytes == 0 {
+		t.Fatalf("posterior tables after -warm: %d tables, %d bytes", tables, bytes)
+	}
+
+	if _, _, err := load(config{dbPath: writeTestDB(t), warmTau: 3}); err == nil {
+		t.Fatal("-warm without priors booted")
+	}
+	if _, _, err := load(config{
+		dbPath: writeTestDB(t), buildPriors: true, tauMax: 4, pairs: 500, warmTau: 9,
+	}); err == nil {
+		t.Fatal("-warm beyond the prior ceiling booted")
+	}
+}

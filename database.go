@@ -12,89 +12,116 @@ import (
 	"gsim/internal/graph"
 	"gsim/internal/index"
 	"gsim/internal/method"
+	"gsim/internal/shard"
 )
 
 // Stats re-exports the collection statistics (the shape of Table III).
 type Stats = db.Stats
 
-// Database owns a graph collection plus the offline artifacts of the GBDA
-// search (Section VI): the GBD prior fitted on sampled pairs and the
+// ErrNotFound reports that no stored graph carries the requested ID —
+// returned by Delete and Update for unknown (or already deleted) IDs.
+// The serving layer maps it to HTTP 404.
+var ErrNotFound = errors.New("gsim: no graph with that id")
+
+// Database owns a sharded graph store plus the offline artifacts of the
+// GBDA search (Section VI): the GBD prior fitted on sampled pairs and the
 // per-size model/Jeffreys-prior cache. Build graphs with NewGraph, then
 // call BuildPriors once before any GBDA-family Search.
 //
-// A Database is safe for concurrent use: mutations (Store, LoadText,
-// LoadBinary, BuildPriors, LoadPriors) are serialised by a write lock and
-// bump the database epoch, while every search snapshots the state it scans
-// (collection view, active subset, priors, prefilter index) at prepare
-// time under a read lock. An in-flight scan therefore runs to completion
-// against the state it started from — graphs stored mid-scan appear to
-// the next search, never to the current one — instead of racing the
-// mutation. Epoch observes this: any result computed at epoch E is stale
-// once Epoch() > E, which is what the serving layer's result cache keys
-// on (see internal/qcache).
+// Storage is partitioned (internal/shard): every stored graph gets a
+// stable ID at insert time — the value reported as Match.Index and
+// accepted by Delete/Update — and is hashed onto one of N shards, each
+// with its own mutation lock, epoch counter and prefilter summaries.
+// Mutations on different shards proceed concurrently; a search takes a
+// consistent cut of per-shard snapshots at prepare time and scans it
+// lock-free, so an in-flight scan runs to completion against the state it
+// started from — a graph stored mid-scan appears to the next search,
+// never the current one, and a graph deleted mid-scan is gone from the
+// next search at the latest (a racing scan may observe the deletion
+// early — see the storage-layer notes in doc.go — but can never gain a
+// spurious match from it). Epoch observes this: any result computed
+// at epoch E is stale once Epoch() > E, which is what the serving layer's
+// result cache keys on (see internal/qcache).
 type Database struct {
 	mu     sync.RWMutex
-	epoch  uint64
-	col    *db.Collection
-	active []int // collection indexes scanned by Search; nil = all
+	epoch  uint64 // db-level component: priors, snapshot swaps
+	store  *shard.Map
+	shardN int   // configured shard count, reused when loads rebuild the store
+	active []int // graph IDs scanned by Search; nil = all (immutable once set)
 
 	tauMax   int
 	ws       *core.Workspace
 	gbdPrior *core.GBDPrior
 
-	ixMu sync.Mutex
-	ix   *index.Index // incremental prefilter index; nil until first use
+	// apMu guards the cached scan projection: flattening a consistent
+	// cut into one scan set costs a pointer pass over the store, so
+	// prepare reuses the projection until a mutation moves the store
+	// epoch (see Database.projection in search.go).
+	apMu sync.Mutex
+	proj *projection
 }
 
-// Epoch returns the database version: a counter bumped by every mutation
-// that can change search results (graph inserts, snapshot loads, prior
-// fits). Two equal-epoch observations bracket an interval with no
-// mutations, so a result computed in between is still current — the
-// invalidation contract of the serving layer's query cache.
+// projection is the memoised flat scan set over one store epoch's
+// consistent cut: concatenated shard snapshots for a full scan, the
+// picked active subset (in list order) otherwise, plus the aligned
+// prefilter summaries when built with them. store pins the Map the cut
+// was taken from: a LoadBinary swap installs a fresh Map whose epoch
+// restarts at zero, so epoch equality alone cannot validate the cache.
+type projection struct {
+	store    *shard.Map
+	epoch    uint64
+	withSums bool
+	entries  []*db.Entry
+	sums     []index.Summary
+}
+
+// Epoch returns the database version: a counter advanced by every
+// mutation that can change search results (graph inserts, deletes,
+// updates, snapshot loads, prior fits). Two equal-epoch observations
+// bracket an interval with no mutations, so a result computed in between
+// is still current — the invalidation contract of the serving layer's
+// query cache. The value combines the db-level epoch (priors, loads)
+// with the sharded store's own mutation counter.
 func (d *Database) Epoch() uint64 {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.epoch
+	return d.epoch + d.store.Epoch()
 }
 
-// prefilterIndex returns the layered admissible filter index, building it
-// on first use and extending it with summaries for any graphs stored
-// since — so a graph added after a prefiltered search is visible to the
-// next one (the index is versioned by collection length, see
-// index.Synced). Each call publishes an immutable snapshot: an index
-// handed to an in-flight scan is never mutated by a later sync. The
-// caller must hold d.mu (read suffices); ixMu only serialises concurrent
-// read-locked syncs against each other.
-func (d *Database) prefilterIndex() *index.Index {
-	d.ixMu.Lock()
-	defer d.ixMu.Unlock()
-	if d.ix == nil {
-		d.ix = index.Build(d.col)
-	} else {
-		d.ix = d.ix.Synced()
-	}
-	return d.ix
-}
-
-// methodView projects the database state scorers prepare against. The
-// caller must hold d.mu (read suffices); scorers only touch the view
-// inside Prepare, which runs under the same lock.
-func (d *Database) methodView() *method.DB {
-	return &method.DB{Col: d.col, Active: d.active, WS: d.ws, GBDPrior: d.gbdPrior, TauMax: d.tauMax}
-}
-
-// NewDatabase creates an empty database.
+// NewDatabase creates an empty database with GOMAXPROCS storage shards.
 func NewDatabase(name string) *Database {
-	return &Database{col: db.New(name)}
+	return NewDatabaseShards(name, 0)
+}
+
+// NewDatabaseShards creates an empty database with an explicit storage
+// shard count (n ≤ 0 selects GOMAXPROCS). One shard reproduces the
+// unsharded layout exactly — the equivalence tests rely on it.
+func NewDatabaseShards(name string, n int) *Database {
+	n = shard.Shards(n)
+	return &Database{store: shard.New(name, n), shardN: n}
 }
 
 // FromCollection wraps an existing internal collection — the bridge used by
 // the experiment harness and dataset generators, which assemble collections
-// directly. active lists the collection indexes Search scans (the "95%
-// database" of Section VII-A); nil scans everything. External users build
-// databases with NewDatabase/NewGraph instead.
+// directly. active lists the graph IDs Search scans (the "95% database" of
+// Section VII-A; a flat collection's IDs equal its indexes); nil scans
+// everything. External users build databases with NewDatabase/NewGraph
+// instead.
 func FromCollection(col *db.Collection, active []int) *Database {
-	return &Database{col: col, active: active}
+	return FromCollectionShards(col, active, 0)
+}
+
+// FromCollectionShards is FromCollection with an explicit shard count.
+func FromCollectionShards(col *db.Collection, active []int, n int) *Database {
+	n = shard.Shards(n)
+	return &Database{store: shard.FromCollection(col, n), shardN: n, active: active}
+}
+
+// NumShards reports the storage shard count.
+func (d *Database) NumShards() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.store.NumShards()
 }
 
 // Len reports the number of stored graphs (including any not in the active
@@ -102,7 +129,7 @@ func FromCollection(col *db.Collection, active []int) *Database {
 func (d *Database) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.col.Len()
+	return d.store.Len()
 }
 
 // ActiveLen reports how many graphs Search scans.
@@ -110,68 +137,96 @@ func (d *Database) ActiveLen() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if d.active == nil {
-		return d.col.Len()
+		return d.store.Len()
 	}
-	return len(d.active)
+	n := 0
+	for _, id := range d.active {
+		if _, ok := d.store.Get(uint64(id)); ok {
+			n++
+		}
+	}
+	return n
 }
 
 // Stats summarises the stored graphs.
 func (d *Database) Stats() Stats {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.col.Stats()
+	return d.store.Stats()
 }
 
 // Name returns the database name.
 func (d *Database) Name() string {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.col.Name
+	return d.store.Name()
+}
+
+// ShardSizes reports how many graphs each storage shard holds —
+// placement diagnostics surfaced by the serving layer's /v1/stats.
+func (d *Database) ShardSizes() []int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.store.ShardSizes()
 }
 
 // LoadText bulk-loads graphs in .gsim text form (see internal/graph codec:
 // "g <name> <n>" header, "v <i> <label>" and "e <u> <v> <label>" records).
-// The batch is parsed before the database lock is taken and inserted
-// atomically: a concurrent search sees either none or all of the loaded
-// graphs.
+// The batch is parsed before any lock is taken and inserted atomically
+// (every shard briefly locked): a concurrent search sees either none or
+// all of the loaded graphs, and the epoch advances once.
 func (d *Database) LoadText(r io.Reader) (int, error) {
 	d.mu.RLock()
-	dict := d.col.Dict
+	store := d.store
 	d.mu.RUnlock()
-	gs, err := graph.ReadAll(r, dict)
+	gs, err := graph.ReadAll(r, store.Dict())
 	if err != nil {
 		return 0, err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.col.Dict != dict {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.store != store {
 		return 0, fmt.Errorf("gsim: database contents replaced while loading")
 	}
-	for _, g := range gs {
-		d.col.Add(g)
+	batch := make([]shard.Mutation, len(gs))
+	for i, g := range gs {
+		batch[i] = shard.Mutation{G: g}
 	}
-	if len(gs) > 0 {
-		d.epoch++
+	if len(batch) > 0 {
+		d.store.Commit(batch)
 	}
 	return len(gs), nil
 }
 
-// SaveText writes every stored graph in .gsim text form.
+// SaveText writes every stored graph in .gsim text form, in insertion
+// (ID) order — one logical collection, whatever the shard layout.
 func (d *Database) SaveText(w io.Writer) error {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.col.Save(w)
+	store := d.store
+	d.mu.RUnlock()
+	entries := store.Ordered()
+	gs := make([]*graph.Graph, len(entries))
+	for i, e := range entries {
+		gs[i] = e.G
+	}
+	return graph.WriteAll(w, gs, store.Dict())
 }
 
-// SaveBinary writes a fast gob snapshot of the stored graphs.
+// SaveBinary writes a fast gob snapshot of the stored graphs, in
+// insertion (ID) order. The format is the flat collection's — no shard
+// structure is serialised, so snapshots are interchangeable across shard
+// counts and with pre-shard files; loading reassigns dense IDs in file
+// order.
 func (d *Database) SaveBinary(w io.Writer) error {
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.col.SaveBinary(w)
+	store := d.store
+	d.mu.RUnlock()
+	return db.SaveBinaryEntries(w, store.Name(), store.Dict(), store.Ordered())
 }
 
 // LoadBinary replaces the database contents with a snapshot written by
-// SaveBinary, resetting any fitted priors and the active scan subset.
+// SaveBinary, resetting any fitted priors and the active scan subset. The
+// snapshot is re-sharded on load across the configured shard count.
 // Searches already in flight finish against the contents they started
 // with; searches prepared after LoadBinary returns see only the snapshot.
 func (d *Database) LoadBinary(r io.Reader) error {
@@ -181,44 +236,49 @@ func (d *Database) LoadBinary(r io.Reader) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.col = col
+	// Fold the replaced store's epoch into the db-level component so the
+	// combined Epoch() never moves backwards across the swap.
+	d.epoch += d.store.Epoch() + 1
+	d.store = shard.FromCollection(col, d.shardN)
 	d.active = nil
 	d.ws = nil
 	d.gbdPrior = nil
 	d.tauMax = 0
-	d.epoch++
-	d.ixMu.Lock()
-	d.ix = nil
-	d.ixMu.Unlock()
+	// Drop the cached projection now rather than at the next prepare:
+	// it would never be served (store identity mismatch), but it pins
+	// the replaced store's whole entry slice in memory until then.
+	d.apMu.Lock()
+	d.proj = nil
+	d.apMu.Unlock()
 	return nil
 }
 
-// LoadQueryText parses exactly one .gsim stanza against the database's
-// label dictionary and prepares it as a query.
-func (d *Database) LoadQueryText(r io.Reader) (*Query, error) {
+// Delete removes the graph with the given ID (the value Store returned
+// and Match.Index reports). The graph disappears from the next search —
+// in-flight scans finish against their snapshot — the epoch advances, so
+// every cached result is invalidated, and the graph's branch refcounts
+// are released (dictionary compaction reclaims dead entries once enough
+// accumulate). Returns ErrNotFound for unknown or already-deleted IDs.
+func (d *Database) Delete(id int) error {
 	d.mu.RLock()
-	dict := d.col.Dict
-	d.mu.RUnlock()
-	gs, err := graph.ReadAll(r, dict)
-	if err != nil {
-		return nil, err
+	defer d.mu.RUnlock()
+	if id < 0 || !d.store.Delete(uint64(id)) {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	if len(gs) != 1 {
-		return nil, fmt.Errorf("gsim: query input holds %d graphs, want exactly 1", len(gs))
-	}
-	return &Query{g: gs[0], branches: branch.MultisetOf(gs[0])}, nil
+	return nil
 }
 
 // GraphBuilder constructs one labeled graph against the database's shared
-// label dictionary. Finish with Store (insert into the database) or Query
-// (use as a search query without storing). Builders may run concurrently
-// with each other and with searches (the dictionary is internally
-// synchronised); each builder is itself single-goroutine.
+// label dictionary. Finish with Store (insert into the database), Update
+// (replace a stored graph) or Query (use as a search query without
+// storing). Builders may run concurrently with each other and with
+// searches (the dictionary is internally synchronised); each builder is
+// itself single-goroutine.
 type GraphBuilder struct {
-	d   *Database
-	col *db.Collection // dictionary owner captured at NewGraph
-	g   *graph.Graph
-	eph map[string]graph.ID // non-nil: query-only builder, see NewQuery
+	d     *Database
+	store *shard.Map // dictionary owner captured at NewGraph
+	g     *graph.Graph
+	eph   map[string]graph.ID // non-nil: query-only builder, see NewQuery
 }
 
 // NewGraph starts building a graph with the given name.
@@ -226,9 +286,9 @@ func (d *Database) NewGraph(name string) *GraphBuilder {
 	g := graph.New(8)
 	g.Name = name
 	d.mu.RLock()
-	col := d.col
+	store := d.store
 	d.mu.RUnlock()
-	return &GraphBuilder{d: d, col: col, g: g}
+	return &GraphBuilder{d: d, store: store, g: g}
 }
 
 // NewQuery starts building a query-only graph: labels already known to
@@ -252,9 +312,9 @@ func (d *Database) NewQuery(name string) *GraphBuilder {
 // query-only ones.
 func (b *GraphBuilder) intern(label string) graph.ID {
 	if b.eph == nil {
-		return b.col.Dict.Intern(label)
+		return b.store.Dict().Intern(label)
 	}
-	if id, ok := b.col.Dict.Lookup(label); ok {
+	if id, ok := b.store.Dict().Lookup(label); ok {
 		return id
 	}
 	if id, ok := b.eph[label]; ok {
@@ -283,7 +343,7 @@ func (b *GraphBuilder) AddDirectedEdge(u, v int, base string) error {
 	if b.eph != nil {
 		return errors.New("gsim: AddDirectedEdge needs a storable builder (NewGraph, not NewQuery)")
 	}
-	return graph.AddDirectedEdge(b.g, b.col.Dict, u, v, base)
+	return graph.AddDirectedEdge(b.g, b.store.Dict(), u, v, base)
 }
 
 // WeightBuckets re-exports the weight-folding quantiser: edge weights are
@@ -296,71 +356,170 @@ func (b *GraphBuilder) AddWeightedEdge(u, v int, weight float64, wb WeightBucket
 	if b.eph != nil {
 		return errors.New("gsim: AddWeightedEdge needs a storable builder (NewGraph, not NewQuery)")
 	}
-	return graph.AddWeightedEdge(b.g, b.col.Dict, wb, u, v, weight)
+	return graph.AddWeightedEdge(b.g, b.store.Dict(), wb, u, v, weight)
 }
 
-// Store validates the graph, inserts it into the database, and returns its
-// collection index. The insert bumps the database epoch; a search already
-// in flight keeps scanning its own snapshot and never sees the new graph,
-// the next search does. Store fails if LoadBinary replaced the database
-// contents since NewGraph — the builder's labels were interned against the
-// replaced dictionary.
-func (b *GraphBuilder) Store() (int, error) {
+// storable validates that the builder can mutate the database: built by
+// NewGraph (not NewQuery) against the current contents.
+func (b *GraphBuilder) storable() error {
 	if b.eph != nil {
-		return 0, errors.New("gsim: a NewQuery builder cannot Store (its unknown labels are ephemeral); build with NewGraph")
+		return errors.New("gsim: a NewQuery builder cannot mutate the database (its unknown labels are ephemeral); build with NewGraph")
 	}
 	if err := b.g.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Store validates the graph, inserts it into the database, and returns
+// its graph ID — the stable handle Match.Index reports and Delete/Update
+// accept (for a database that never deletes, IDs are dense insertion
+// indexes). The insert bumps the database epoch; a search already in
+// flight keeps scanning its own snapshot and never sees the new graph,
+// the next search does. Only the receiving storage shard is locked, so
+// concurrent Stores proceed in parallel. Store fails if LoadBinary
+// replaced the database contents since NewGraph — the builder's labels
+// were interned against the replaced dictionary.
+func (b *GraphBuilder) Store() (int, error) {
+	if err := b.storable(); err != nil {
 		return 0, err
 	}
-	b.d.mu.Lock()
-	defer b.d.mu.Unlock()
-	if b.d.col != b.col {
+	b.d.mu.RLock()
+	defer b.d.mu.RUnlock()
+	if b.d.store != b.store {
 		return 0, fmt.Errorf("gsim: database contents replaced since NewGraph; rebuild the graph")
 	}
-	b.d.col.Add(b.g)
-	b.d.epoch++
-	return b.d.col.Len() - 1, nil
+	return int(b.d.store.Add(b.g)), nil
+}
+
+// Update validates the graph and atomically replaces the stored graph
+// with the given ID, keeping the ID (and its storage shard). The replaced
+// graph's branch refcounts are released exactly like Delete's. In-flight
+// scans keep their snapshot; the next search sees the new graph under the
+// old ID. Returns ErrNotFound for unknown IDs.
+func (b *GraphBuilder) Update(id int) error {
+	if err := b.storable(); err != nil {
+		return err
+	}
+	b.d.mu.RLock()
+	defer b.d.mu.RUnlock()
+	if b.d.store != b.store {
+		return fmt.Errorf("gsim: database contents replaced since NewGraph; rebuild the graph")
+	}
+	if id < 0 || !b.d.store.Update(uint64(id), b.g) {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return nil
+}
+
+// BuilderMutation is one element of a CommitAll batch: an insert of the
+// builder's graph when UpdateID is nil, an in-place replacement of the
+// graph stored under *UpdateID otherwise.
+type BuilderMutation struct {
+	Builder  *GraphBuilder
+	UpdateID *int
+}
+
+// CommitAll validates and applies a mixed batch of inserts and updates
+// atomically: every shard locked once, one epoch bump, and a concurrent
+// search sees either none or all of the batch. On any validation error —
+// including an UpdateID no stored graph carries (ErrNotFound) — nothing
+// changes. It returns the resulting graph ID of every mutation in batch
+// order: fresh IDs for inserts, the (unchanged) target IDs for updates.
+func (d *Database) CommitAll(muts []BuilderMutation) ([]int, error) {
+	for i, mu := range muts {
+		b := mu.Builder
+		if b == nil || b.d != d {
+			return nil, fmt.Errorf("gsim: CommitAll: builder %d missing or belongs to another database", i)
+		}
+		if err := b.storable(); err != nil {
+			return nil, fmt.Errorf("gsim: CommitAll: graph %d (%q): %w", i, b.g.Name, err)
+		}
+		if mu.UpdateID != nil && *mu.UpdateID < 0 {
+			return nil, fmt.Errorf("%w: %d", ErrNotFound, *mu.UpdateID)
+		}
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for i, mu := range muts {
+		if mu.Builder.store != d.store {
+			return nil, fmt.Errorf("gsim: CommitAll: database contents replaced since NewGraph of builder %d; rebuild the graphs", i)
+		}
+	}
+	batch := make([]shard.Mutation, len(muts))
+	for i, mu := range muts {
+		batch[i] = shard.Mutation{G: mu.Builder.g}
+		if mu.UpdateID != nil {
+			id := uint64(*mu.UpdateID)
+			batch[i].ID = &id
+		}
+	}
+	ids := make([]int, len(muts))
+	if len(batch) == 0 {
+		return ids, nil
+	}
+	first, missing, ok := d.store.Commit(batch)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNotFound, missing)
+	}
+	next := int(first)
+	for i, mu := range muts {
+		if mu.UpdateID != nil {
+			ids[i] = *mu.UpdateID
+			continue
+		}
+		ids[i] = next
+		next++
+	}
+	return ids, nil
 }
 
 // StoreAll validates and inserts the graphs of several builders as one
-// atomic batch: one write lock, one epoch bump, and a concurrent search
-// sees either none or all of them (the same contract LoadText gives bulk
-// text loads). Every builder must come from this database's NewGraph; on
-// any validation error nothing is stored. It returns the collection
-// index of the first inserted graph (the rest follow contiguously).
+// atomic batch: every shard locked once, one epoch bump, and a concurrent
+// search sees either none or all of them (the same contract LoadText
+// gives bulk text loads). Every builder must come from this database's
+// NewGraph; on any validation error nothing is stored. It returns the
+// graph ID of the first inserted graph (the rest follow contiguously).
 func (d *Database) StoreAll(builders []*GraphBuilder) (int, error) {
+	if len(builders) == 0 {
+		d.mu.RLock()
+		defer d.mu.RUnlock()
+		return int(d.store.NextID()), nil
+	}
+	muts := make([]BuilderMutation, len(builders))
 	for i, b := range builders {
-		if b.d != d {
+		if b == nil || b.d != d {
 			return 0, fmt.Errorf("gsim: StoreAll: builder %d belongs to another database", i)
 		}
-		if b.eph != nil {
-			return 0, fmt.Errorf("gsim: StoreAll: builder %d is a NewQuery builder and cannot be stored", i)
-		}
-		if err := b.g.Validate(); err != nil {
-			return 0, fmt.Errorf("gsim: StoreAll: graph %d (%q): %w", i, b.g.Name, err)
-		}
+		muts[i] = BuilderMutation{Builder: b}
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for i, b := range builders {
-		if b.col != d.col {
-			return 0, fmt.Errorf("gsim: StoreAll: database contents replaced since NewGraph of builder %d; rebuild the graphs", i)
-		}
+	ids, err := d.CommitAll(muts)
+	if err != nil {
+		return 0, err
 	}
-	first := d.col.Len()
-	for _, b := range builders {
-		d.col.Add(b.g)
-	}
-	if len(builders) > 0 {
-		d.epoch++
-	}
-	return first, nil
+	return ids[0], nil
 }
 
 // Query finalises the graph as a search query (precomputing its canonical
 // branch multiset) without storing it.
 func (b *GraphBuilder) Query() *Query {
 	return &Query{g: b.g, branches: branch.MultisetOf(b.g)}
+}
+
+// LoadQueryText parses exactly one .gsim stanza against the database's
+// label dictionary and prepares it as a query.
+func (d *Database) LoadQueryText(r io.Reader) (*Query, error) {
+	d.mu.RLock()
+	dict := d.store.Dict()
+	d.mu.RUnlock()
+	gs, err := graph.ReadAll(r, dict)
+	if err != nil {
+		return nil, err
+	}
+	if len(gs) != 1 {
+		return nil, fmt.Errorf("gsim: query input holds %d graphs, want exactly 1", len(gs))
+	}
+	return &Query{g: gs[0], branches: branch.MultisetOf(gs[0])}, nil
 }
 
 // Query is a prepared query graph. It carries the canonical (key-form)
@@ -382,13 +541,17 @@ func (q *Query) NumVertices() int { return q.g.NumVertices() }
 // Name returns the query graph's name.
 func (q *Query) Name() string { return q.g.Name }
 
-// Query prepares the stored graph at collection index i as a query — used
-// when the query workload is drawn from the same population as the database
-// (the paper's 5% split).
+// Query prepares the stored graph with ID i as a query — used when the
+// query workload is drawn from the same population as the database (the
+// paper's 5% split). It panics if no graph carries the ID; callers
+// driving it from external input should look the graph up themselves.
 func (d *Database) Query(i int) *Query {
 	d.mu.RLock()
-	e := d.col.Entry(i)
+	e, ok := d.store.Get(uint64(i))
 	d.mu.RUnlock()
+	if !ok {
+		panic(fmt.Sprintf("gsim: Query(%d): no graph with that id", i))
+	}
 	// Entries store interned IDs, not keys; the query form recomputes the
 	// canonical multiset so the Query resolves against whatever snapshot
 	// it later scans (one O(|V|·d) pass per query preparation).
@@ -416,9 +579,12 @@ var ErrNoPriors = method.ErrNoPriors
 // their GBDs, fits the Gaussian-mixture GBD prior (Λ2, Section V-B) and
 // prepares the model workspace whose per-size Jeffreys priors (Λ3,
 // Section V-C) are filled lazily as sizes are encountered.
-// BuildPriors holds the database write lock for the whole fit — sampling
-// races ongoing inserts otherwise — so concurrent searches block until the
-// offline stage completes; it is an offline stage.
+// The sample is drawn from a point-in-time snapshot of the store (ID
+// order) and the fit runs without holding the database write lock, so
+// concurrent inserts and searches proceed during the offline stage;
+// graphs stored mid-fit simply miss the sample (the priors are
+// statistical). Only the final artifact install takes the write lock,
+// and it fails cleanly if LoadBinary replaced the contents mid-fit.
 func (d *Database) BuildPriors(cfg OfflineConfig) error {
 	if cfg.TauMax <= 0 {
 		cfg.TauMax = 10
@@ -429,17 +595,23 @@ func (d *Database) BuildPriors(cfg OfflineConfig) error {
 	if cfg.Components <= 0 {
 		cfg.Components = 3
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.col.Len() < 2 {
+	d.mu.RLock()
+	store := d.store
+	d.mu.RUnlock()
+	if store.Len() < 2 {
 		return errors.New("gsim: need at least two graphs to fit priors")
 	}
-	samples := d.col.SamplePairGBDs(cfg.SamplePairs, cfg.Seed)
+	samples := store.SamplePairGBDs(cfg.SamplePairs, cfg.Seed)
 	prior, err := core.FitGBDPrior(samples, cfg.Components)
 	if err != nil {
 		return fmt.Errorf("gsim: fitting GBD prior: %w", err)
 	}
-	s := d.col.Stats()
+	s := store.Stats()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.store != store {
+		return fmt.Errorf("gsim: database contents replaced while fitting priors; rebuild them")
+	}
 	d.gbdPrior = prior
 	d.tauMax = cfg.TauMax
 	d.ws = core.NewWorkspace(core.Params{LV: s.LV, LE: s.LE, TauMax: cfg.TauMax})
@@ -460,6 +632,27 @@ func (d *Database) TauMax() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.tauMax
+}
+
+// WarmPosteriorTables builds the posterior lookup table for threshold tau
+// (plain-GBDA configuration) ahead of query traffic, so the first search
+// after startup hits the steady-state two-table path instead of paying
+// the cold build. gsimd's -warm flag calls it at boot. tau must not
+// exceed the priors' ceiling; ErrNoPriors before BuildPriors/LoadPriors.
+func (d *Database) WarmPosteriorTables(tau int) error {
+	d.mu.RLock()
+	ws, prior, tauMax := d.ws, d.gbdPrior, d.tauMax
+	store := d.store
+	d.mu.RUnlock()
+	if ws == nil {
+		return ErrNoPriors
+	}
+	if tau <= 0 || tau > tauMax {
+		return fmt.Errorf("%w: warm tau %d outside (0, %d]", ErrBadOptions, tau, tauMax)
+	}
+	s := &core.Searcher{WS: ws, GBD: prior}
+	ws.PosteriorTable(s, tau, store.DistinctSizes())
+	return nil
 }
 
 // GBDPriorProb exposes Pr[GBD = ϕ] from the fitted prior, for diagnostics
@@ -489,11 +682,22 @@ func (d *Database) GEDPriorRow(v int) ([]float64, error) {
 // BranchDictLen reports the number of distinct branch keys interned by the
 // stored graphs — the size of the shared branch dictionary the interned
 // multisets index into. Query traffic never grows it (unknown query
-// branches stay ephemeral); only Store/Load paths do.
+// branches stay ephemeral); only Store/Load paths do, and Delete/Update
+// release refcounts so compaction can reclaim dead keys.
 func (d *Database) BranchDictLen() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return d.col.BranchDict().Len()
+	return d.store.BranchDict().Len()
+}
+
+// BranchDictStats reports the branch dictionary's lifecycle counters:
+// live and dead interned keys, cumulative retired IDs and compaction
+// passes — the observable effect of Delete/Update on the shared
+// dictionary.
+func (d *Database) BranchDictStats() db.DictStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.store.BranchDict().Stats()
 }
 
 // PosteriorTableStats reports the posterior lookup tables cached on the
@@ -508,17 +712,4 @@ func (d *Database) PosteriorTableStats() (tables int, bytes int64) {
 		return 0, 0
 	}
 	return ws.TableStats()
-}
-
-// activeIndexes materialises the active scan subset. The caller must hold
-// d.mu (read suffices).
-func (d *Database) activeIndexes() []int {
-	if d.active != nil {
-		return d.active
-	}
-	idx := make([]int, d.col.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	return idx
 }

@@ -43,16 +43,51 @@
 //
 // Service layer (internal/server, cmd/gsimd). Above the consumers sits
 // the HTTP serving subsystem: a JSON API (/v1/search, /v1/topk,
-// /v1/batch, NDJSON /v1/stream, /v1/graphs ingest, /v1/stats, /healthz)
-// over one resident Database, fronted by an epoch-versioned LRU result
-// cache (internal/qcache) — a repeated query is served from memory until
-// a mutation invalidates it. Serving is sound because the Database is
-// concurrency-safe: mutations serialise behind a write lock and bump an
-// epoch counter (Epoch), while every search snapshots the collection,
-// active subset, priors and prefilter index at prepare time under a read
-// lock and scans lock-free against that snapshot. A graph stored during
-// a scan is visible to the next search, never to the running one, and a
-// result computed at epoch E is cacheable exactly while Epoch() == E.
+// /v1/batch, NDJSON /v1/stream, /v1/graphs ingest/update, DELETE
+// /v1/graphs/{id}, /v1/stats, /healthz) over one resident Database,
+// fronted by an epoch-versioned LRU result cache (internal/qcache) — a
+// repeated query is served from memory until a mutation invalidates it.
+//
+// # Storage layer
+//
+// Under everything sits a sharded mutable collection (internal/shard):
+//
+//	shard map  →  per-shard entries + prefilter summaries  →  scatter-gather scan
+//
+// Every stored graph gets a stable ID at insert time (the value Store
+// returns, Match.Index reports, and Delete/Update accept) and is hashed
+// onto one of N shards — N is configurable (NewDatabaseShards, gsimd
+// -shards), defaulting to GOMAXPROCS. Each shard owns its entry slice,
+// its slice of admissible-filter summaries (internal/index), an epoch
+// counter and a mutation lock, so ingest, delete and update on different
+// shards commit concurrently instead of serialising behind one
+// collection-wide mutex; bulk ingest (LoadText, StoreAll, CommitAll)
+// briefly locks every shard for its none-or-all contract.
+//
+// Deletion and update are first-class: Delete swap-removes within the
+// owning shard (no tombstones) and resyncs that shard's summaries;
+// Update replaces content under a stable ID. Both release the victim's
+// interned branch refcounts, and the shared branch dictionary compacts
+// itself once enough keys die — dead IDs are retired, never reused, so
+// an in-flight scan can never mis-match a recycled ID.
+//
+// A search takes a consistent cut of per-shard snapshots at prepare time
+// (optimistic epoch double-read, shard-locked fallback) and scans it
+// lock-free: the scan engine scatters chunked work claims across the
+// concatenated per-shard position space and the gather side orders
+// matches by stable graph ID, so results — values and order — are
+// bit-identical to the unsharded layout. A graph stored during a scan is
+// visible to the next search, never the running one; a graph deleted or
+// replaced mid-scan is guaranteed gone from the next search and may
+// additionally stop matching the running one (queries resolve branch
+// keys against the live dictionary, and a compaction can retire keys
+// only the just-deleted graph held) — a racing scan can see a deletion
+// early, never a spurious match. The
+// global epoch derives from the shard epochs (one advance per mutation
+// batch), so a result computed at epoch E is cacheable exactly while
+// Epoch() == E — unchanged qcache semantics. Persistence writes one
+// logical collection in ID order; snapshots are interchangeable across
+// shard counts and with pre-shard files, re-sharded on load.
 //
 // # Batch strategies
 //
@@ -90,7 +125,10 @@
 // Interned branch IDs. The database layer interns every distinct branch
 // key into a shared dictionary (db.BranchDict) and stores each graph's
 // branch multiset as sorted uint32 IDs — 4 bytes per vertex instead of a
-// string header plus key bytes — so GBD is a linear merge of integers.
+// string header plus key bytes — so GBD is a linear merge of integers
+// (switching to galloping search when one side is far smaller than the
+// other, the adaptive-intersection crossover). Dictionary entries are
+// refcounted; deletes drive them dead and compaction reclaims them.
 // Queries resolve their key-form multisets against the dictionary at
 // search-prepare time; branches the database has never seen map to
 // per-search ephemeral IDs that are never interned (query traffic cannot

@@ -81,10 +81,37 @@ func MultisetOf(g *graph.Graph) Multiset {
 	return ms
 }
 
+// GallopRatio is the size skew at which intersectSorted abandons the
+// linear merge for galloping search: once the larger multiset is at least
+// this many times the smaller, probing the big side with exponential
+// search costs O(|small|·log(|big|/|small|)) comparisons where the merge
+// pays O(|small|+|big|) — the classic crossover of adaptive set
+// intersection, relevant here when a tiny query meets a huge stored graph
+// (or vice versa).
+const GallopRatio = 16
+
 // intersectSorted returns |a ∩ b| for two multisets sorted under the same
-// total order, via one linear merge — the single implementation behind
-// both the Key and the interned-ID paths.
+// total order — the single implementation behind both the Key and the
+// interned-ID paths. Balanced inputs take one linear merge; skewed inputs
+// (size ratio ≥ GallopRatio) gallop the small side through the big one.
+// Both paths implement the same multiset semantics: each matched pair
+// consumes one occurrence from each side, so duplicates count as
+// min(countA, countB). The dispatcher is kept tiny so it inlines into
+// the scan hot path; the loops live in their own functions.
 func intersectSorted[T cmp.Ordered](a, b []T) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a)*GallopRatio <= len(b) {
+		return intersectGallop(a, b)
+	}
+	return intersectMerge(a, b)
+}
+
+// intersectMerge is the linear merge for balanced inputs. Requires
+// len(a) ≤ len(b) (the dispatcher's invariant; the result is symmetric
+// either way).
+func intersectMerge[T cmp.Ordered](a, b []T) int {
 	i, j, n := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -96,6 +123,50 @@ func intersectSorted[T cmp.Ordered](a, b []T) int {
 			i++
 		default:
 			j++
+		}
+	}
+	return n
+}
+
+// intersectGallop intersects a small sorted multiset against a much larger
+// one: for each element of small it advances a cursor into big by doubling
+// steps (exponential search) and finishes with a binary search over the
+// final probe window, so the cursor moves monotonically and each element
+// costs O(log gap). Requires len(small) ≤ len(big); equivalence with the
+// linear merge is pinned by TestGallopMatchesMerge.
+func intersectGallop[T cmp.Ordered](small, big []T) int {
+	n, j := 0, 0
+	for i := 0; i < len(small) && j < len(big); i++ {
+		x := small[i]
+		if big[j] < x {
+			// Gallop: find the first step whose element is ≥ x…
+			step := 1
+			lo := j
+			for j+step < len(big) && big[j+step] < x {
+				lo = j + step
+				step <<= 1
+			}
+			hi := j + step
+			if hi > len(big) {
+				hi = len(big)
+			}
+			// …then binary-search the (lo, hi] window for the lower bound.
+			for lo+1 < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if big[mid] < x {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			j = hi
+			if j >= len(big) {
+				break
+			}
+		}
+		if big[j] == x {
+			n++
+			j++ // consume one occurrence: multiset, not set, semantics
 		}
 	}
 	return n

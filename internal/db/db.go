@@ -23,7 +23,16 @@ import (
 // interned form: sorted uint32 branch IDs resolved through the
 // collection's BranchDict — 4 bytes per vertex, merged by integer
 // comparison on the scan hot path.
+//
+// ID is the graph's stable identity: assigned once at insert time, in
+// insertion order, and never reassigned while the store lives. In a flat
+// Collection the ID always equals the slice index; the sharded store
+// (internal/shard) keeps IDs stable across deletes — positions move under
+// swap-remove, IDs never do — which is what makes them the handle of the
+// public Delete/Update APIs and the deterministic result order of
+// scatter-gather scans.
 type Entry struct {
+	ID       uint64
 	G        *graph.Graph
 	Branches branch.IDs
 }
@@ -78,7 +87,7 @@ func (c *Collection) DistinctSizes() []int {
 // the collection statistics. The graph must have been built against the
 // collection's dictionary.
 func (c *Collection) Add(g *graph.Graph) *Entry {
-	e := &Entry{G: g, Branches: c.bdict.InternMultiset(branch.MultisetOf(g))}
+	e := &Entry{ID: uint64(len(c.entries)), G: g, Branches: c.bdict.InternMultiset(branch.MultisetOf(g))}
 	c.entries = append(c.entries, e)
 	c.sizes[g.NumVertices()]++
 	if g.NumVertices() > c.maxV {
@@ -155,24 +164,33 @@ func (s Stats) String() string {
 // branch indexes. Pairs are drawn with replacement across pairs but with
 // distinct members inside one pair.
 func (c *Collection) SamplePairGBDs(n int, seed int64) []float64 {
-	if len(c.entries) < 2 || n <= 0 {
+	return SamplePairGBDsEntries(c.entries, n, seed)
+}
+
+// SamplePairGBDsEntries is the storage-layer-agnostic form of
+// SamplePairGBDs: the flat collection passes its slice, the sharded store
+// its ID-ordered snapshot, and both draw the same pairs for the same seed
+// and entry order — which is what keeps prior fits reproducible across
+// storage layouts.
+func SamplePairGBDsEntries(entries []*Entry, n int, seed int64) []float64 {
+	if len(entries) < 2 || n <= 0 {
 		return nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	type pair struct{ a, b int32 }
 	pairs := make([]pair, n)
 	for i := range pairs {
-		a := rng.Intn(len(c.entries))
-		b := rng.Intn(len(c.entries) - 1)
+		a := rng.Intn(len(entries))
+		b := rng.Intn(len(entries) - 1)
 		if b >= a {
 			b++
 		}
 		pairs[i] = pair{int32(a), int32(b)}
 	}
 	out := make([]float64, n)
-	c.parallel(n, func(i int) {
+	parallel(n, func(i int) {
 		p := pairs[i]
-		out[i] = float64(branch.GBDIDs(c.entries[p.a].Branches, c.entries[p.b].Branches))
+		out[i] = float64(branch.GBDIDs(entries[p.a].Branches, entries[p.b].Branches))
 	})
 	return out
 }
@@ -218,7 +236,7 @@ func (c *Collection) Scan(workers int, fn func(i int, e *Entry)) {
 	wg.Wait()
 }
 
-func (c *Collection) parallel(n int, fn func(i int)) {
+func parallel(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n

@@ -15,14 +15,42 @@ import (
 // Key semantics (a branch the database has never seen matches nothing).
 const EphemeralBranchBase = uint32(1) << 31
 
+// compactMinDead is the dead-ID floor below which Release never triggers
+// an automatic compaction pass: scanning the whole key map to drop a
+// handful of strings is not worth the lock hold. Above the floor,
+// compaction runs once dead keys outnumber live ones (see maybeCompact).
+const compactMinDead = 1024
+
 // BranchDict interns canonical branch Keys to dense uint32 IDs shared by
 // every entry of one collection, so branch isomorphism (Definition 3) is
 // integer equality and per-entry multisets shrink to 4 bytes per vertex.
 // It is safe for concurrent use; query-time resolution takes only a read
 // lock.
+//
+// Entries are refcounted per occurrence: InternMultiset counts every
+// vertex of a stored graph, and Release (the delete/update path) counts
+// them back down. A key whose count reaches zero is dead — no live entry
+// references its ID — and a compaction pass (automatic past a threshold,
+// or explicit via Compact) removes dead keys from the map, reclaiming the
+// key bytes and map slots that dominate the dictionary's footprint.
+//
+// Dead IDs are retired, never reused. An in-flight scan resolves its query
+// against the live dictionary while scanning an older snapshot whose
+// entries may include just-deleted graphs; reusing a dead ID for a new key
+// would let that query spuriously match a deleted entry's old branch. The
+// cost of retirement is one refcount slot (4 bytes) per dead ID — the ID
+// space is 2³¹ wide, so numbering is never the binding constraint — and
+// re-interning a key that died earlier simply assigns it a fresh ID, which
+// is correct because no live multiset still carries the old one.
 type BranchDict struct {
-	mu  sync.RWMutex
-	ids map[branch.Key]uint32
+	mu   sync.RWMutex
+	ids  map[branch.Key]uint32
+	refs []uint32 // occurrence counts, indexed by ID; never shrinks
+	next uint32   // next fresh ID; monotonic (retired IDs are not reused)
+	dead int      // keys still in the map whose refcount is zero
+
+	compactions uint64 // completed compaction passes
+	retired     int    // dead IDs removed from the map by compaction
 }
 
 // NewBranchDict returns an empty dictionary.
@@ -30,11 +58,38 @@ func NewBranchDict() *BranchDict {
 	return &BranchDict{ids: make(map[branch.Key]uint32)}
 }
 
-// Len reports the number of distinct interned branch keys.
+// Len reports the number of interned branch keys currently in the map
+// (live keys plus dead ones not yet compacted away).
 func (d *BranchDict) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return len(d.ids)
+}
+
+// DictStats is a point-in-time snapshot of the dictionary's lifecycle
+// counters, surfaced by the serving layer's /v1/stats.
+type DictStats struct {
+	// Live is the number of keys referenced by at least one stored entry.
+	Live int
+	// Dead is the number of keys awaiting compaction (refcount zero).
+	Dead int
+	// Retired is the cumulative number of dead IDs reclaimed by
+	// compaction passes.
+	Retired int
+	// Compactions counts completed compaction passes.
+	Compactions uint64
+}
+
+// Stats snapshots the lifecycle counters.
+func (d *BranchDict) Stats() DictStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return DictStats{
+		Live:        len(d.ids) - d.dead,
+		Dead:        d.dead,
+		Retired:     d.retired,
+		Compactions: d.compactions,
+	}
 }
 
 // Lookup returns the ID for k without interning.
@@ -46,28 +101,94 @@ func (d *BranchDict) Lookup(k branch.Key) (uint32, bool) {
 }
 
 // InternMultiset resolves a Key multiset into sorted interned IDs,
-// assigning fresh IDs to unseen keys — the store path, called once per
-// Add. The interned universe is capped at EphemeralBranchBase entries so
-// stored IDs and ephemeral query IDs can never meet; 2³¹ distinct branch
-// shapes is far beyond any real collection.
+// assigning fresh IDs to unseen keys and incrementing each key's refcount
+// by its occurrence count — the store path, called once per Add. The
+// interned universe is capped at EphemeralBranchBase entries so stored IDs
+// and ephemeral query IDs can never meet; 2³¹ distinct branch shapes is
+// far beyond any real collection.
 func (d *BranchDict) InternMultiset(ms branch.Multiset) branch.IDs {
 	out := make(branch.IDs, len(ms))
 	d.mu.Lock()
 	for i, k := range ms {
 		id, ok := d.ids[k]
 		if !ok {
-			if uint32(len(d.ids)) >= EphemeralBranchBase {
+			if d.next >= EphemeralBranchBase {
 				d.mu.Unlock()
 				panic("db: branch dictionary exhausted (2^31 distinct branches)")
 			}
-			id = uint32(len(d.ids))
+			id = d.next
+			d.next++
 			d.ids[k] = id
+			d.refs = append(d.refs, 0)
 		}
+		if d.refs[id] == 0 && ok {
+			// A dead key coming back to life before compaction got to it.
+			d.dead--
+		}
+		d.refs[id]++
 		out[i] = id
 	}
 	d.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Release decrements refcounts for a deleted (or replaced) entry's
+// interned multiset — the inverse of InternMultiset. Keys whose count
+// reaches zero become dead; once dead keys pass the compaction threshold
+// a pass runs inline, dropping them from the map. Ephemeral overlay IDs
+// (≥ EphemeralBranchBase) are ignored: they were never interned.
+func (d *BranchDict) Release(ids branch.IDs) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, id := range ids {
+		if id >= EphemeralBranchBase || int(id) >= len(d.refs) || d.refs[id] == 0 {
+			continue // ephemeral or already dead: nothing to release
+		}
+		d.refs[id]--
+		if d.refs[id] == 0 {
+			d.dead++
+		}
+	}
+	d.maybeCompact()
+}
+
+// maybeCompact runs a compaction pass when dead keys both exceed the
+// absolute floor and outnumber live ones — the point where half the map
+// is paying for graphs that no longer exist. The caller must hold d.mu.
+func (d *BranchDict) maybeCompact() {
+	if d.dead >= compactMinDead && d.dead >= len(d.ids)-d.dead {
+		d.compactLocked()
+	}
+}
+
+// Compact forces a compaction pass regardless of thresholds, returning
+// the number of dead keys reclaimed. Live interned multisets are never
+// disturbed: compaction only deletes map entries whose refcount is zero,
+// and the IDs they held are retired rather than reused.
+func (d *BranchDict) Compact() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.compactLocked()
+}
+
+// compactLocked deletes every dead key from the map. The caller must
+// hold d.mu (write).
+func (d *BranchDict) compactLocked() int {
+	if d.dead == 0 {
+		return 0
+	}
+	n := 0
+	for k, id := range d.ids {
+		if d.refs[id] == 0 {
+			delete(d.ids, k)
+			n++
+		}
+	}
+	d.dead -= n
+	d.retired += n
+	d.compactions++
+	return n
 }
 
 // ResolveMultiset resolves a Key multiset into sorted IDs without growing

@@ -35,12 +35,21 @@ type snapshot struct {
 
 // SaveBinary writes a gob snapshot of the collection.
 func (c *Collection) SaveBinary(w io.Writer) error {
-	snap := snapshot{Name: c.Name}
+	return SaveBinaryEntries(w, c.Name, c.Dict, c.entries)
+}
+
+// SaveBinaryEntries writes a gob snapshot of entries sharing dict — the
+// storage-layer-agnostic form: a flat Collection passes its slice, the
+// sharded store passes its ID-ordered view, and both produce the same
+// format (one logical collection; graph IDs are not part of it, so a
+// snapshot re-loads with dense IDs assigned in file order).
+func SaveBinaryEntries(w io.Writer, name string, dict *graph.Labels, entries []*Entry) error {
+	snap := snapshot{Name: name}
 	// Dump the dictionary densely: IDs are assigned contiguously.
-	for id := graph.ID(0); int(id) < c.Dict.Len(); id++ {
-		snap.Labels = append(snap.Labels, c.Dict.Name(id))
+	for id := graph.ID(0); int(id) < dict.Len(); id++ {
+		snap.Labels = append(snap.Labels, dict.Name(id))
 	}
-	for _, e := range c.entries {
+	for _, e := range entries {
 		g := e.G
 		fg := flatGraph{Name: g.Name, VLabels: make([]int32, g.NumVertices())}
 		for v := 0; v < g.NumVertices(); v++ {

@@ -26,7 +26,7 @@ func (r *runner) xPrefilter() ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := index.Build(e.ds.Col)
+	ix := index.Build(e.ds.Col.Entries())
 	power := &Table{
 		ID:     "xprefilter",
 		Title:  "Layered pre-filter pruning power on grec (extension)",

@@ -23,13 +23,13 @@ func BenchmarkBuild(b *testing.B) {
 	ds := benchDataset(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = Build(ds.Col)
+		_ = Build(ds.Col.Entries())
 	}
 }
 
 func BenchmarkPruningScan(b *testing.B) {
 	ds := benchDataset(b)
-	ix := Build(ds.Col)
+	ix := Build(ds.Col.Entries())
 	q := ds.Queries[0]
 	qs := ix.Summary(q)
 	qb := ds.Col.Entry(q).Branches
@@ -41,7 +41,7 @@ func BenchmarkPruningScan(b *testing.B) {
 
 func BenchmarkLowerBoundPair(b *testing.B) {
 	ds := benchDataset(b)
-	ix := Build(ds.Col)
+	ix := Build(ds.Col.Entries())
 	qs := ix.Summary(0)
 	qb := ds.Col.Entry(0).Branches
 	b.ResetTimer()

@@ -16,10 +16,19 @@
 //     branch multisets are precomputed by the database layer).
 //
 // The composite bound is the maximum of the three.
+//
+// The package is storage-layer agnostic: an Index summarises any entry
+// slice (the sharded store keeps one summary slice per shard, maintained
+// incrementally under the shard's mutation lock; see internal/shard),
+// and PairPrunable evaluates the composite bound for one
+// (query, entry) pair given its summary — the form the scatter-gather
+// scan consumes.
 package index
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"gsim/internal/branch"
 	"gsim/internal/db"
@@ -47,6 +56,42 @@ func Summarize(g *graph.Graph) Summary {
 	}
 	sort.Slice(s.ELabels, func(i, j int) bool { return s.ELabels[i] < s.ELabels[j] })
 	return s
+}
+
+// SummarizeAll summarises every entry in parallel — the bulk form behind
+// Build and the sharded store's per-shard index activation.
+func SummarizeAll(entries []*db.Entry) []Summary {
+	sums := make([]Summary, len(entries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	if workers <= 1 {
+		for i, e := range entries {
+			sums[i] = Summarize(e.G)
+		}
+		return sums
+	}
+	var wg sync.WaitGroup
+	per := (len(entries) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				sums[i] = Summarize(entries[i].G)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return sums
 }
 
 // LowerBound returns the composite size+label lower bound on GED between
@@ -90,62 +135,50 @@ func multisetDistance(a, b []graph.ID) int {
 	return m - common
 }
 
-// Index holds the summaries of every graph in a collection.
-type Index struct {
-	col  *db.Collection
-	sums []Summary
-}
-
-// Build summarises every graph of the collection (parallel, one pass).
-func Build(col *db.Collection) *Index {
-	ix := &Index{col: col, sums: make([]Summary, col.Len())}
-	col.Scan(0, func(i int, e *db.Entry) {
-		ix.sums[i] = Summarize(e.G)
-	})
-	return ix
-}
-
-// Len reports the number of indexed graphs.
-func (ix *Index) Len() int { return len(ix.sums) }
-
-// Synced returns an index covering every graph currently in the
-// collection: ix itself when nothing was added since it was built, or a
-// new Index extended with summaries of the added graphs. The receiver is
-// never mutated, so an Index handed to an in-flight scan stays valid
-// while later searches sync past it; the summary list is versioned by its
-// length against the collection, and a no-op sync is O(1). Callers
-// serialise Synced itself (the database layer calls it under its index
-// mutex) because concurrent syncs would summarise the same tail twice.
-func (ix *Index) Synced() *Index {
-	n := ix.col.Len()
-	if len(ix.sums) == n {
-		return ix
-	}
-	// The three-index slice pins capacity so append reallocates instead
-	// of writing into the array a concurrent reader may hold.
-	sums := ix.sums[:len(ix.sums):len(ix.sums)]
-	for i := len(sums); i < n; i++ {
-		sums = append(sums, Summarize(ix.col.Entry(i).G))
-	}
-	return &Index{col: ix.col, sums: sums}
-}
-
-// Summary returns the stored summary of collection entry i.
-func (ix *Index) Summary(i int) Summary { return ix.sums[i] }
-
-// LowerBound computes the composite lower bound — size, label and branch
-// layers — between a prepared query (summary + interned branch multiset,
-// resolved through the collection's branch dictionary) and the indexed
-// graph i.
-func (ix *Index) LowerBound(q Summary, qBranches branch.IDs, i int) int {
-	lb := q.LowerBound(ix.sums[i])
-	if bb := branch.LowerBoundGED(branch.GBDIDs(qBranches, ix.col.Entry(i).Branches)); bb > lb {
+// PairLowerBound computes the composite lower bound — size, label and
+// branch layers — between a prepared query (summary + interned branch
+// multiset) and one stored entry with its summary. This is the pairwise
+// form the scan hot path uses; Index wraps it for whole-slice consumers.
+func PairLowerBound(q Summary, qBranches branch.IDs, s Summary, e *db.Entry) int {
+	lb := q.LowerBound(s)
+	if bb := branch.LowerBoundGED(branch.GBDIDs(qBranches, e.Branches)); bb > lb {
 		lb = bb
 	}
 	return lb
 }
 
-// Prunable reports whether graph i provably violates GED ≤ tau.
+// PairPrunable reports whether the entry provably violates GED ≤ tau.
+func PairPrunable(q Summary, qBranches branch.IDs, s Summary, e *db.Entry, tau int) bool {
+	return PairLowerBound(q, qBranches, s, e) > tau
+}
+
+// Index pairs an entry slice with its summaries — a static, point-in-time
+// filter over one snapshot. The sharded store does not use this type (it
+// owns raw summary slices, resynced incrementally under shard locks); it
+// serves standalone analysis such as the pruning-power experiment.
+type Index struct {
+	entries []*db.Entry
+	sums    []Summary
+}
+
+// Build summarises every entry (parallel, one pass).
+func Build(entries []*db.Entry) *Index {
+	return &Index{entries: entries, sums: SummarizeAll(entries)}
+}
+
+// Len reports the number of indexed graphs.
+func (ix *Index) Len() int { return len(ix.sums) }
+
+// Summary returns the stored summary of entry i.
+func (ix *Index) Summary(i int) Summary { return ix.sums[i] }
+
+// LowerBound computes the composite lower bound between a prepared query
+// and the indexed entry i.
+func (ix *Index) LowerBound(q Summary, qBranches branch.IDs, i int) int {
+	return PairLowerBound(q, qBranches, ix.sums[i], ix.entries[i])
+}
+
+// Prunable reports whether entry i provably violates GED ≤ tau.
 func (ix *Index) Prunable(q Summary, qBranches branch.IDs, i, tau int) bool {
 	return ix.LowerBound(q, qBranches, i) > tau
 }
@@ -172,7 +205,7 @@ func (ix *Index) Pruning(q Summary, qBranches branch.IDs, tau int) Stats {
 			st.LabelPruned++
 			continue
 		}
-		if branch.LowerBoundGED(branch.GBDIDs(qBranches, ix.col.Entry(i).Branches)) > tau {
+		if branch.LowerBoundGED(branch.GBDIDs(qBranches, ix.entries[i].Branches)) > tau {
 			st.BranchPruned++
 			continue
 		}

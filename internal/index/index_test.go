@@ -45,7 +45,7 @@ func TestQuickLowerBoundIsAdmissible(t *testing.T) {
 		// Composite with the branch layer, both directions.
 		col := db.New("t")
 		col.Add(b)
-		ix := Build(col)
+		ix := Build(col.Entries())
 		return ix.LowerBound(sa, col.BranchDict().ResolveMultiset(branch.MultisetOf(a)), 0) <= exact
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
@@ -95,7 +95,7 @@ func TestPruningIsLossless(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ix := Build(ds.Col)
+	ix := Build(ds.Col.Entries())
 	if ix.Len() != ds.Col.Len() {
 		t.Fatalf("index covers %d of %d", ix.Len(), ds.Col.Len())
 	}
@@ -153,38 +153,35 @@ func TestSummaryMultisetsSorted(t *testing.T) {
 	}
 }
 
-// TestSyncedAppendsNewGraphs: graphs added to the collection after Build
-// become visible through Synced, with the same summaries a fresh Build
-// makes, and without mutating the index an earlier scan may still hold.
-func TestSyncedAppendsNewGraphs(t *testing.T) {
+// TestSummarizeAllMatchesSequential: the parallel bulk summariser must
+// produce exactly the summaries a one-by-one pass does, and the pairwise
+// PairPrunable form must agree with the Index form slot for slot.
+func TestSummarizeAllMatchesSequential(t *testing.T) {
 	dict := graph.NewLabels()
 	rng := rand.New(rand.NewSource(9))
-	col := db.New("sync")
-	for i := 0; i < 5; i++ {
-		col.Add(randomGraph(rng, dict, 3+rng.Intn(5)))
+	col := db.New("bulk")
+	for i := 0; i < 37; i++ {
+		col.Add(randomGraph(rng, dict, 3+rng.Intn(6)))
 	}
-	ix := Build(col)
-	if ix.Len() != 5 {
-		t.Fatalf("built %d summaries", ix.Len())
+	entries := col.Entries()
+	sums := SummarizeAll(entries)
+	if len(sums) != len(entries) {
+		t.Fatalf("SummarizeAll built %d of %d", len(sums), len(entries))
 	}
-	if same := ix.Synced(); same != ix {
-		t.Fatal("no-op sync must return the same index")
-	}
-	for i := 0; i < 3; i++ {
-		col.Add(randomGraph(rng, dict, 3+rng.Intn(5)))
-	}
-	synced := ix.Synced()
-	if ix.Len() != 5 {
-		t.Fatalf("Synced mutated the receiver: len %d", ix.Len())
-	}
-	if synced.Len() != col.Len() {
-		t.Fatalf("synced %d summaries, collection holds %d", synced.Len(), col.Len())
-	}
-	fresh := Build(col)
-	for i := 0; i < col.Len(); i++ {
-		a, b := synced.Summary(i), fresh.Summary(i)
-		if a.V != b.V || a.E != b.E || len(a.VLabels) != len(b.VLabels) || len(a.ELabels) != len(b.ELabels) {
-			t.Fatalf("summary %d diverges after sync: %+v vs %+v", i, a, b)
+	ix := Build(entries)
+	q := randomGraph(rng, dict, 5)
+	qs := Summarize(q)
+	qb := col.BranchDict().ResolveMultiset(branch.MultisetOf(q))
+	for i, e := range entries {
+		want := Summarize(e.G)
+		got := sums[i]
+		if got.V != want.V || got.E != want.E || len(got.VLabels) != len(want.VLabels) || len(got.ELabels) != len(want.ELabels) {
+			t.Fatalf("summary %d diverges: %+v vs %+v", i, got, want)
+		}
+		for tau := 0; tau <= 6; tau++ {
+			if PairPrunable(qs, qb, sums[i], e, tau) != ix.Prunable(qs, qb, i, tau) {
+				t.Fatalf("PairPrunable disagrees with Index.Prunable at entry %d tau %d", i, tau)
+			}
 		}
 	}
 }

@@ -56,11 +56,22 @@ var ErrBadOptions = errors.New("gsim: invalid search options")
 // paper measured on its 128 GB machine. gsim.ErrTooLarge aliases it.
 var ErrTooLarge = errors.New("gsim: graph too large for this baseline (raise BaselineMaxVertices)")
 
-// DB is the read-only view of a database a Scorer prepares against: the
-// stored collection, the active scan subset and the offline GBDA artifacts.
+// DB is the read-only view of a database a Scorer prepares against. It is
+// storage-layer agnostic: the gsim layer builds it from whatever snapshot
+// a search prepared (the sharded store's consistent cut), exposing the
+// active scan set through accessor functions instead of a concrete
+// collection — Ordered is lazy because only rank-sampling scorers
+// (GBDA-V1) pay for an ID-ordered view.
 type DB struct {
-	Col    *db.Collection
-	Active []int // collection indexes Search scans; nil = all
+	// ActiveN is the number of graphs the search scans.
+	ActiveN int
+	// Ordered returns the active entries in deterministic scan-set order
+	// (insertion/ID order for a full scan, caller order for an explicit
+	// subset). Implementations memoise; callers must not mutate.
+	Ordered func() []*db.Entry
+	// Sizes lists the distinct vertex counts of stored graphs, ascending —
+	// the sizes a posterior table prebuilds rows for at Prepare time.
+	Sizes func() []int
 	// Offline artifacts; WS == nil before BuildPriors.
 	WS       *core.Workspace
 	GBDPrior *core.GBDPrior
@@ -70,28 +81,17 @@ type DB struct {
 // HasPriors reports whether the offline stage has run.
 func (d *DB) HasPriors() bool { return d.WS != nil }
 
-// ActiveLen reports how many graphs the active subset scans.
-func (d *DB) ActiveLen() int {
-	if d.Active == nil {
-		return d.Col.Len()
-	}
-	return len(d.Active)
-}
+// ActiveLen reports how many graphs the search scans.
+func (d *DB) ActiveLen() int { return d.ActiveN }
 
-// DistinctSizes lists the distinct vertex counts of stored graphs — the
-// sizes a posterior table prebuilds rows for at Prepare time.
-func (d *DB) DistinctSizes() []int { return d.Col.DistinctSizes() }
-
-// activeGraph returns the i-th graph of the active subset.
-func (d *DB) activeGraph(i int) *graph.Graph {
-	if d.Active == nil {
-		return d.Col.Graph(i)
-	}
-	return d.Col.Graph(d.Active[i])
-}
+// DistinctSizes lists the distinct vertex counts of stored graphs.
+func (d *DB) DistinctSizes() []int { return d.Sizes() }
 
 // AvgActiveSize returns the rounded average vertex count over a sample of
-// alpha active graphs — the |V'1| surrogate of the GBDA-V1 variant.
+// alpha active graphs — the |V'1| surrogate of the GBDA-V1 variant. The
+// sample is drawn by rank over the ordered active set, so it is
+// deterministic for a given seed and scan set regardless of how storage
+// is partitioned.
 func (d *DB) AvgActiveSize(alpha int, seed int64) int {
 	n := d.ActiveLen()
 	if n == 0 {
@@ -100,10 +100,11 @@ func (d *DB) AvgActiveSize(alpha int, seed int64) int {
 	if alpha <= 0 || alpha > n {
 		alpha = n
 	}
+	entries := d.Ordered()
 	rng := rand.New(rand.NewSource(seed))
 	var sum int
 	for i := 0; i < alpha; i++ {
-		sum += d.activeGraph(rng.Intn(n)).NumVertices()
+		sum += entries[rng.Intn(n)].G.NumVertices()
 	}
 	v := (sum + alpha/2) / alpha
 	if v < 1 {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"mime"
 	"net/http"
+	"strconv"
 	"time"
 
 	"gsim"
@@ -238,15 +239,41 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(trailer)
 }
 
+// handleDelete removes one stored graph by ID (DELETE /v1/graphs/{id}).
+// The deletion bumps the database epoch — every cached result is
+// invalidated and the next search no longer sees the graph; its branch
+// refcounts are released for dictionary compaction. Unknown or already
+// deleted IDs answer 404.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: graph id %q is not an integer", gsim.ErrBadOptions, r.PathValue("id")))
+		return
+	}
+	if err := s.db.Delete(id); err != nil {
+		if errors.Is(err, gsim.ErrNotFound) {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, deleteResponse{Deleted: 1, Graphs: s.db.Len(), Epoch: s.db.Epoch()})
+}
+
 // ingestGraphs is the /v1/graphs JSON body.
 type ingestGraphs struct {
 	Graphs []wireGraph `json:"graphs"`
 }
 
 // handleIngest stores graphs: a JSON body {"graphs": [...]} or raw .gsim
-// text (Content-Type text/plain). Inserts bump the database epoch, which
-// invalidates every cached result — observable as the epoch field in
-// subsequent responses and the invalidation counter in /v1/stats.
+// text (Content-Type text/plain). A JSON graph carrying "id" updates the
+// stored graph with that ID in place (the re-POST form of update) instead
+// of inserting; inserts and updates land as one atomic batch. Every
+// mutation bumps the database epoch, which invalidates every cached
+// result — observable as the epoch field in subsequent responses and the
+// invalidation counter in /v1/stats.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ct := r.Header.Get("Content-Type")
 	if mt, _, err := mime.ParseMediaType(ct); err == nil {
@@ -276,22 +303,37 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		// Build first so a malformed graph rejects the request before
-		// anything is stored, then insert the whole batch atomically:
+		// anything is stored, then apply the whole batch atomically:
 		// like the text path, a concurrent search sees none or all.
-		builders := make([]*gsim.GraphBuilder, len(req.Graphs))
+		muts := make([]gsim.BuilderMutation, len(req.Graphs))
+		updated := 0
 		for i, wg := range req.Graphs {
 			b, err := s.buildStored(wg)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, err)
 				return
 			}
-			builders[i] = b
+			muts[i] = gsim.BuilderMutation{Builder: b, UpdateID: wg.ID}
+			if wg.ID != nil {
+				updated++
+			}
 		}
-		if _, err := s.db.StoreAll(builders); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		ids, err := s.db.CommitAll(muts)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, gsim.ErrNotFound) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, ingestResponse{Stored: len(builders), Graphs: s.db.Len(), Epoch: s.db.Epoch()})
+		writeJSON(w, http.StatusOK, ingestResponse{
+			Stored:  len(muts) - updated,
+			Updated: updated,
+			Graphs:  s.db.Len(),
+			Epoch:   s.db.Epoch(),
+			IDs:     ids,
+		})
 	default:
 		writeError(w, http.StatusUnsupportedMediaType,
 			fmt.Errorf("unsupported Content-Type %q (use application/json or text/plain)", ct))

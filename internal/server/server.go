@@ -7,13 +7,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/search   threshold query            → JSON result
-//	POST /v1/topk     ranking query              → JSON result
-//	POST /v1/batch    multi-query workload       → JSON results (one scan)
-//	POST /v1/stream   threshold query            → NDJSON, one match per line
-//	POST /v1/graphs   ingest (.gsim text or JSON)
-//	GET  /v1/stats    database, prior, cache and server counters
-//	GET  /healthz     liveness
+//	POST   /v1/search       threshold query            → JSON result
+//	POST   /v1/topk         ranking query              → JSON result
+//	POST   /v1/batch        multi-query workload       → JSON results (one scan)
+//	POST   /v1/stream       threshold query            → NDJSON, one match per line
+//	POST   /v1/graphs       ingest (.gsim text or JSON; a JSON graph with
+//	                        "id" re-POSTs over the stored graph — update)
+//	DELETE /v1/graphs/{id}  remove one stored graph by ID
+//	GET    /v1/stats        database, prior, cache and server counters
+//	GET    /healthz         liveness
+//
+// Graph IDs are stable handles: ingest responses list them, search
+// matches report them as "index", and DELETE/update address them. The
+// database behind the server is sharded (see internal/shard), so ingest,
+// delete and update on different shards commit concurrently while
+// searches scan consistent snapshots.
 //
 // Search, topk and batch responses are cached in an epoch-versioned LRU
 // (internal/qcache) keyed by the canonical request fingerprint: a
@@ -97,6 +105,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.counted(post(s.handleBatch)))
 	mux.HandleFunc("/v1/stream", s.counted(post(s.handleStream)))
 	mux.HandleFunc("/v1/graphs", s.counted(post(s.handleIngest)))
+	mux.HandleFunc("DELETE /v1/graphs/{id}", s.counted(s.handleDelete))
 	mux.HandleFunc("/v1/stats", s.counted(get(s.handleStats)))
 	mux.HandleFunc("/healthz", s.counted(get(s.handleHealthz)))
 	return mux
@@ -153,11 +162,16 @@ type statsResponse struct {
 
 // modelStats surfaces the steady-state hot-path artifacts: the posterior
 // lookup tables cached per search configuration and the interned branch
-// dictionary entries stored multisets index into.
+// dictionary entries stored multisets index into, with the dictionary's
+// delete-driven lifecycle (dead keys awaiting compaction, IDs retired by
+// completed passes).
 type modelStats struct {
-	PosteriorTables     int   `json:"posterior_tables"`
-	PosteriorTableBytes int64 `json:"posterior_table_bytes"`
-	BranchDictSize      int   `json:"branch_dict_size"`
+	PosteriorTables       int    `json:"posterior_tables"`
+	PosteriorTableBytes   int64  `json:"posterior_table_bytes"`
+	BranchDictSize        int    `json:"branch_dict_size"`
+	BranchDictDead        int    `json:"branch_dict_dead"`
+	BranchDictRetired     int    `json:"branch_dict_retired"`
+	BranchDictCompactions uint64 `json:"branch_dict_compactions"`
 }
 
 type dbStats struct {
@@ -169,6 +183,9 @@ type dbStats struct {
 	AvgDegree float64 `json:"avg_degree"`
 	LV        int     `json:"vertex_labels"`
 	LE        int     `json:"edge_labels"`
+	Shards    int     `json:"shards"`
+	ShardMin  int     `json:"shard_min"`
+	ShardMax  int     `json:"shard_max"`
 }
 
 type priorStats struct {
@@ -195,6 +212,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.db.Stats()
 	cs := s.cache.Stats()
 	tables, tableBytes := s.db.PosteriorTableStats()
+	dict := s.db.BranchDictStats()
+	sizes := s.db.ShardSizes()
+	shardMin, shardMax := 0, 0
+	for i, n := range sizes {
+		if i == 0 || n < shardMin {
+			shardMin = n
+		}
+		if n > shardMax {
+			shardMax = n
+		}
+	}
 	resp := statsResponse{
 		Database: dbStats{
 			Name:      s.db.Name(),
@@ -205,12 +233,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			AvgDegree: st.AvgDegree,
 			LV:        st.LV,
 			LE:        st.LE,
+			Shards:    len(sizes),
+			ShardMin:  shardMin,
+			ShardMax:  shardMax,
 		},
 		Priors: priorStats{Built: s.db.HasPriors(), TauMax: s.db.TauMax()},
 		Model: modelStats{
-			PosteriorTables:     tables,
-			PosteriorTableBytes: tableBytes,
-			BranchDictSize:      s.db.BranchDictLen(),
+			PosteriorTables:       tables,
+			PosteriorTableBytes:   tableBytes,
+			BranchDictSize:        s.db.BranchDictLen(),
+			BranchDictDead:        dict.Dead,
+			BranchDictRetired:     dict.Retired,
+			BranchDictCompactions: dict.Compactions,
 		},
 		Epoch: s.db.Epoch(),
 		Cache: cacheStats{

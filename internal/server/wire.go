@@ -14,8 +14,11 @@ import (
 
 // wireGraph is the JSON form of a labeled graph: vertex i carries
 // Vertices[i] as its label, edges reference vertex indexes. The same
-// shape serves queries and ingest.
+// shape serves queries and ingest. On ingest, a graph carrying an "id"
+// re-POSTs over the stored graph with that ID (an in-place update); the
+// field is rejected on query endpoints.
 type wireGraph struct {
+	ID       *int       `json:"id,omitempty"`
 	Name     string     `json:"name,omitempty"`
 	Vertices []string   `json:"vertices"`
 	Edges    []wireEdge `json:"edges,omitempty"`
@@ -92,11 +95,23 @@ type streamTrailer struct {
 	Error     string `json:"error,omitempty"`
 }
 
-// ingestResponse is the /v1/graphs body.
+// ingestResponse is the /v1/graphs (POST) body. IDs lists the graph ID of
+// every ingested graph in request order — the handles DELETE
+// /v1/graphs/{id} and update-by-re-POST accept (JSON ingest only; text
+// ingest reports counts without per-graph IDs).
 type ingestResponse struct {
-	Stored int    `json:"stored"`
-	Graphs int    `json:"graphs"`
-	Epoch  uint64 `json:"epoch"`
+	Stored  int    `json:"stored"`
+	Updated int    `json:"updated,omitempty"`
+	Graphs  int    `json:"graphs"`
+	Epoch   uint64 `json:"epoch"`
+	IDs     []int  `json:"ids,omitempty"`
+}
+
+// deleteResponse is the DELETE /v1/graphs/{id} body.
+type deleteResponse struct {
+	Deleted int    `json:"deleted"`
+	Graphs  int    `json:"graphs"`
+	Epoch   uint64 `json:"epoch"`
 }
 
 // clampWorkers bounds a request's scan parallelism by the server's
@@ -150,8 +165,13 @@ func fill(b *gsim.GraphBuilder, wg wireGraph) (*gsim.GraphBuilder, error) {
 
 // buildQuery constructs a query graph. Labels the database has never
 // seen stay ephemeral (Database.NewQuery), so arbitrary query traffic
-// cannot grow the shared label dictionary.
+// cannot grow the shared label dictionary. The ingest-only "id" field is
+// rejected: a silently ignored update marker would make the caller
+// believe the stored graph changed.
 func (s *Server) buildQuery(wg wireGraph) (*gsim.Query, error) {
+	if wg.ID != nil {
+		return nil, fmt.Errorf("%w: \"id\" applies to ingest only", gsim.ErrBadOptions)
+	}
 	b, err := fill(s.db.NewQuery(wg.Name), wg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,676 @@
+// Package shard is the partitioned, mutable storage layer behind
+// gsim.Database: a Map hashes stable graph IDs onto N shards, each owning
+// its entry slice, its slice of prefilter summaries, an epoch counter and
+// a mutation lock — so ingest, delete and update on different shards
+// proceed concurrently, and a search scatter-gathers over per-shard
+// snapshots instead of serialising behind one collection-wide mutex.
+//
+// # Identity
+//
+// Every stored graph gets a stable uint64 ID at insert time, assigned in
+// insertion order from one atomic sequence. The ID is the handle of the
+// mutation API (Delete, Update), the hash input of shard placement, and
+// the deterministic result order of scans: positions inside a shard move
+// under swap-remove, IDs never do. A store built from a flat collection
+// (FromCollection) numbers the collection's entries 0..n-1, so the ID
+// space of an unsharded seed and its sharded replacement coincide.
+//
+// # Concurrency model
+//
+// Mutations take exactly one shard's write lock (bulk Commit takes all of
+// them, in index order, for the none-or-all contract of batch ingest).
+// Readers never block writers for long: a snapshot copies slice headers
+// under the shard read lock, and mutations publish fresh slices on
+// delete/update (append-only inserts extend in place, which existing
+// snapshot headers cannot observe). A Views call assembles a consistent
+// cut across all shards by optimistic double-read of the global epoch,
+// falling back to locking every shard if mutations keep racing the cut.
+//
+// # Epochs
+//
+// Each shard counts its own mutations; the Map derives the global epoch
+// from them — it advances (inside the mutating shard's critical section)
+// whenever any shard epoch does, with one advance per atomic mutation
+// batch however many shards the batch touched. The counter is strictly
+// monotonic, equal observations imply an identical store state, and a
+// consistent cut labels the snapshot with the exact epoch its data
+// corresponds to — the invalidation contract the serving layer's result
+// cache (internal/qcache) keys on.
+//
+// # Prefilter summaries
+//
+// The layered admissible filter (internal/index) needs one Summary per
+// entry. Each shard keeps a summary slice exactly parallel to its entry
+// slice, activated lazily by the first prefiltered search (EnsureSums)
+// and maintained incrementally from then on: an insert appends one
+// summary, a delete swap-removes one, an update re-summarises one slot —
+// the per-shard index resync that keeps prefiltered scans O(1) to
+// prepare after the first.
+package shard
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gsim/internal/branch"
+	"gsim/internal/db"
+	"gsim/internal/graph"
+	"gsim/internal/index"
+)
+
+// cutRetries bounds the optimistic consistent-cut loop in Views before it
+// falls back to locking every shard.
+const cutRetries = 4
+
+// Map is a sharded mutable graph store. Construct with New or
+// FromCollection; all methods are safe for concurrent use.
+type Map struct {
+	name   string
+	dict   *graph.Labels
+	bdict  *db.BranchDict
+	shards []*bucket
+	seq    atomic.Uint64 // next graph ID
+	gepoch atomic.Uint64 // global epoch: one advance per mutation batch
+
+	sizes atomic.Pointer[sizesCache] // memoised DistinctSizes per epoch
+}
+
+// sizesCache is one epoch's merged distinct-size list.
+type sizesCache struct {
+	epoch uint64
+	sizes []int
+}
+
+// bucket is one shard: a slice of entries plus the structures that let
+// mutations and scans address it independently of every other shard.
+type bucket struct {
+	mu      sync.RWMutex
+	entries []*db.Entry
+	slots   map[uint64]int // graph ID → position in entries
+	sums    []index.Summary
+	sumsOn  bool   // summaries maintained incrementally once true
+	epoch   uint64 // mutations on this shard; guarded by mu
+	st      stats
+}
+
+// stats is one shard's contribution to the collection statistics,
+// refcounted so deletes subtract exactly what inserts added.
+type stats struct {
+	n          int
+	sizes      map[int]int
+	vLabels    map[graph.ID]int
+	eLabels    map[graph.ID]int
+	maxV, maxE int
+	sumDeg     float64
+}
+
+func newStats() stats {
+	return stats{
+		sizes:   make(map[int]int),
+		vLabels: make(map[graph.ID]int),
+		eLabels: make(map[graph.ID]int),
+	}
+}
+
+func (s *stats) add(g *graph.Graph) {
+	s.n++
+	s.sizes[g.NumVertices()]++
+	if g.NumVertices() > s.maxV {
+		s.maxV = g.NumVertices()
+	}
+	if g.NumEdges() > s.maxE {
+		s.maxE = g.NumEdges()
+	}
+	s.sumDeg += g.AvgDegree()
+	for v := 0; v < g.NumVertices(); v++ {
+		if l := g.VertexLabel(v); l != graph.Epsilon {
+			s.vLabels[l]++
+		}
+	}
+	for _, ed := range g.Edges() {
+		if ed.Label != graph.Epsilon {
+			s.eLabels[ed.Label]++
+		}
+	}
+}
+
+// remove undoes add's counting for g. It deliberately leaves the maxV /
+// maxE high-water marks alone: every mutation path that removes a graph
+// finishes with bucket.fixMaxima over the post-mutation entries — one
+// implementation, no stale-maxima protocol between the two.
+func (s *stats) remove(g *graph.Graph) {
+	s.n--
+	if s.sizes[g.NumVertices()]--; s.sizes[g.NumVertices()] == 0 {
+		delete(s.sizes, g.NumVertices())
+	}
+	s.sumDeg -= g.AvgDegree()
+	for v := 0; v < g.NumVertices(); v++ {
+		if l := g.VertexLabel(v); l != graph.Epsilon {
+			if s.vLabels[l]--; s.vLabels[l] == 0 {
+				delete(s.vLabels, l)
+			}
+		}
+	}
+	for _, ed := range g.Edges() {
+		if ed.Label != graph.Epsilon {
+			if s.eLabels[ed.Label]--; s.eLabels[ed.Label] == 0 {
+				delete(s.eLabels, ed.Label)
+			}
+		}
+	}
+}
+
+// Shards normalises a shard-count choice: n ≤ 0 selects GOMAXPROCS.
+func Shards(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// New returns an empty store with n shards (n ≤ 0: GOMAXPROCS) and fresh
+// label and branch dictionaries.
+func New(name string, n int) *Map {
+	n = Shards(n)
+	m := &Map{name: name, dict: graph.NewLabels(), bdict: db.NewBranchDict(), shards: make([]*bucket, n)}
+	for i := range m.shards {
+		m.shards[i] = &bucket{slots: make(map[uint64]int), st: newStats()}
+	}
+	return m
+}
+
+// FromCollection distributes an assembled flat collection over n shards,
+// adopting its label dictionary, branch dictionary and entries. Entry IDs
+// are the collection's own (dense, insertion-ordered), so the sharded
+// store answers exactly like the flat one. The collection must not be
+// mutated afterwards; reading it (the experiment harness does) is fine.
+func FromCollection(col *db.Collection, n int) *Map {
+	m := New(col.Name, n)
+	m.dict = col.Dict
+	m.bdict = col.BranchDict()
+	for _, e := range col.Entries() {
+		b := m.shardOf(e.ID)
+		b.entries = append(b.entries, e)
+		b.slots[e.ID] = len(b.entries) - 1
+		b.st.add(e.G)
+	}
+	m.seq.Store(uint64(col.Len()))
+	return m
+}
+
+// mix64 is the SplitMix64 finaliser: a cheap, well-distributed hash from
+// sequential IDs to shard indexes, so placement stays balanced whatever
+// the insert/delete pattern.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (m *Map) shardOf(id uint64) *bucket {
+	return m.shards[mix64(id)%uint64(len(m.shards))]
+}
+
+// ShardIndex reports which shard holds id — exposed for tests and
+// diagnostics; callers address graphs by ID only.
+func (m *Map) ShardIndex(id uint64) int {
+	return int(mix64(id) % uint64(len(m.shards)))
+}
+
+// NumShards reports the shard count.
+func (m *Map) NumShards() int { return len(m.shards) }
+
+// Name returns the store name.
+func (m *Map) Name() string { return m.name }
+
+// Dict returns the shared label dictionary.
+func (m *Map) Dict() *graph.Labels { return m.dict }
+
+// BranchDict returns the shared branch dictionary.
+func (m *Map) BranchDict() *db.BranchDict { return m.bdict }
+
+// Epoch returns the global store version, bumped by every mutation (once
+// per atomic batch). Strictly monotonic; equal observations imply an
+// unchanged store.
+func (m *Map) Epoch() uint64 { return m.gepoch.Load() }
+
+// NextID reports the next graph ID the store would assign — the exclusive
+// upper bound of the ID space used so far.
+func (m *Map) NextID() uint64 { return m.seq.Load() }
+
+// Len reports the number of stored graphs.
+func (m *Map) Len() int {
+	n := 0
+	for _, b := range m.shards {
+		b.mu.RLock()
+		n += b.st.n
+		b.mu.RUnlock()
+	}
+	return n
+}
+
+// intern computes and interns a graph's branch multiset.
+func (m *Map) intern(g *graph.Graph) branch.IDs {
+	return m.bdict.InternMultiset(branch.MultisetOf(g))
+}
+
+// insert appends e to the bucket; the caller holds b.mu.
+func (b *bucket) insert(e *db.Entry) {
+	b.entries = append(b.entries, e)
+	b.slots[e.ID] = len(b.entries) - 1
+	if b.sumsOn {
+		b.sums = append(b.sums, index.Summarize(e.G))
+	}
+	b.st.add(e.G)
+}
+
+// removeAt swap-removes the entry at slot, publishing fresh slices so
+// snapshots handed to in-flight scans are never mutated; the caller holds
+// b.mu and is responsible for stats, refcounts and epochs.
+func (b *bucket) removeAt(slot int) {
+	n := len(b.entries)
+	victim := b.entries[slot]
+	fresh := make([]*db.Entry, n-1)
+	copy(fresh, b.entries[:n-1])
+	if slot != n-1 {
+		fresh[slot] = b.entries[n-1]
+		b.slots[fresh[slot].ID] = slot
+	}
+	delete(b.slots, victim.ID)
+	b.entries = fresh
+	if b.sumsOn {
+		fs := make([]index.Summary, n-1)
+		copy(fs, b.sums[:n-1])
+		if slot != n-1 {
+			fs[slot] = b.sums[n-1]
+		}
+		b.sums = fs
+	}
+}
+
+// replaceAt swaps a new entry into slot (same ID, new graph), publishing
+// fresh slices; the caller holds b.mu.
+func (b *bucket) replaceAt(slot int, e *db.Entry) {
+	fresh := make([]*db.Entry, len(b.entries))
+	copy(fresh, b.entries)
+	fresh[slot] = e
+	b.entries = fresh
+	if b.sumsOn {
+		fs := make([]index.Summary, len(b.sums))
+		copy(fs, b.sums)
+		fs[slot] = index.Summarize(e.G)
+		b.sums = fs
+	}
+}
+
+// bump records one mutation on b; the caller holds b.mu. The global
+// epoch moves inside the critical section so a consistent cut can never
+// observe the data change without its epoch.
+func (m *Map) bump(b *bucket) {
+	b.epoch++
+	m.gepoch.Add(1)
+}
+
+// Add stores g under a fresh ID and returns it. Only the owning shard is
+// locked, so Adds of different graphs run concurrently.
+func (m *Map) Add(g *graph.Graph) uint64 {
+	ids := m.intern(g)
+	id := m.seq.Add(1) - 1
+	e := &db.Entry{ID: id, G: g, Branches: ids}
+	b := m.shardOf(id)
+	b.mu.Lock()
+	b.insert(e)
+	m.bump(b)
+	b.mu.Unlock()
+	return id
+}
+
+// Delete removes the graph with the given ID: tombstone-free swap-remove
+// inside its shard, summary resync, stats subtraction and a branch-
+// dictionary release (which may trigger compaction). It reports whether
+// the ID existed. The next consistent cut — and therefore the next
+// search — no longer sees the graph.
+func (m *Map) Delete(id uint64) bool {
+	b := m.shardOf(id)
+	b.mu.Lock()
+	slot, ok := b.slots[id]
+	if !ok {
+		b.mu.Unlock()
+		return false
+	}
+	e := b.entries[slot]
+	b.removeAt(slot)
+	b.st.remove(e.G)
+	b.fixMaxima()
+	m.bump(b)
+	b.mu.Unlock()
+	m.bdict.Release(e.Branches)
+	return true
+}
+
+// Update replaces the graph stored under id with g, keeping the ID (and
+// therefore the shard). It reports whether the ID existed; when it does
+// not, nothing is interned or released.
+func (m *Map) Update(id uint64, g *graph.Graph) bool {
+	b := m.shardOf(id)
+	b.mu.Lock()
+	slot, ok := b.slots[id]
+	if !ok {
+		b.mu.Unlock()
+		return false
+	}
+	old := b.entries[slot]
+	e := &db.Entry{ID: id, G: g, Branches: m.intern(g)}
+	b.replaceAt(slot, e)
+	b.st.remove(old.G)
+	b.st.add(g)
+	b.fixMaxima()
+	m.bump(b)
+	b.mu.Unlock()
+	m.bdict.Release(old.Branches)
+	return true
+}
+
+// fixMaxima recomputes the shard's high-water marks exactly over the
+// current entries; the caller holds b.mu. Every mutation path that
+// removes or replaces a graph ends with this pass (stats.remove never
+// touches the maxima), so the marks stay exact after deletes of the
+// largest graph. The scan is O(shard), the same order as the slice
+// clone those paths already pay.
+func (b *bucket) fixMaxima() {
+	b.st.maxV, b.st.maxE = 0, 0
+	for _, e := range b.entries {
+		if e.G.NumVertices() > b.st.maxV {
+			b.st.maxV = e.G.NumVertices()
+		}
+		if e.G.NumEdges() > b.st.maxE {
+			b.st.maxE = e.G.NumEdges()
+		}
+	}
+}
+
+// Mutation is one entry of a Commit batch: a fresh insert when ID is nil,
+// an in-place update of *ID otherwise.
+type Mutation struct {
+	ID *uint64
+	G  *graph.Graph
+}
+
+// Commit applies a batch of inserts and updates atomically: every shard
+// is locked (in index order) for the duration, so a concurrent search
+// sees none or all of the batch — the contract bulk ingest exposes. On
+// an unknown update ID nothing is changed and the missing ID is
+// returned; otherwise Commit returns the ID of the first insert (the
+// rest follow contiguously) and true. A batch with no inserts returns
+// the store's next ID.
+func (m *Map) Commit(batch []Mutation) (firstID uint64, missing uint64, ok bool) {
+	for _, b := range m.shards {
+		b.mu.Lock()
+	}
+	defer func() {
+		for _, b := range m.shards {
+			b.mu.Unlock()
+		}
+	}()
+	// Validate first: none-or-all.
+	inserts := uint64(0)
+	for _, mu := range batch {
+		if mu.ID == nil {
+			inserts++
+			continue
+		}
+		if _, exists := m.shardOf(*mu.ID).slots[*mu.ID]; !exists {
+			return 0, *mu.ID, false
+		}
+	}
+	// Reserve the whole insert run in one atomic step: a concurrent Add
+	// claims its ID from the same sequence before blocking on the shard
+	// lock, so a Load-then-Add-per-insert loop would let foreign IDs
+	// interleave into the "contiguous" run this function promises.
+	if inserts == 0 {
+		firstID = m.seq.Load()
+	} else {
+		firstID = m.seq.Add(inserts) - inserts
+	}
+	next := firstID
+	touched := make(map[*bucket]struct{})
+	var released []branch.IDs
+	for _, mu := range batch {
+		if mu.ID == nil {
+			id := next
+			next++
+			b := m.shardOf(id)
+			b.insert(&db.Entry{ID: id, G: mu.G, Branches: m.intern(mu.G)})
+			touched[b] = struct{}{}
+			continue
+		}
+		b := m.shardOf(*mu.ID)
+		slot := b.slots[*mu.ID]
+		old := b.entries[slot]
+		b.replaceAt(slot, &db.Entry{ID: *mu.ID, G: mu.G, Branches: m.intern(mu.G)})
+		b.st.remove(old.G)
+		b.st.add(mu.G)
+		released = append(released, old.Branches)
+		touched[b] = struct{}{}
+	}
+	for b := range touched {
+		b.fixMaxima()
+		b.epoch++
+	}
+	if len(touched) > 0 {
+		// One global bump for the whole batch: a Commit is one atomic
+		// mutation to observers (the "one epoch bump" contract bulk
+		// ingest documents), however many shards it touched.
+		m.gepoch.Add(1)
+	}
+	// Release after the epoch bumps: compaction may run inside Release,
+	// and the new state must already be published.
+	for _, ids := range released {
+		m.bdict.Release(ids)
+	}
+	return firstID, 0, true
+}
+
+// Get returns the entry stored under id.
+func (m *Map) Get(id uint64) (*db.Entry, bool) {
+	b := m.shardOf(id)
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	slot, ok := b.slots[id]
+	if !ok {
+		return nil, false
+	}
+	return b.entries[slot], true
+}
+
+// ensureSums activates incremental summary maintenance on b, building the
+// backlog in one parallel pass.
+func (b *bucket) ensureSums() {
+	b.mu.RLock()
+	on := b.sumsOn
+	b.mu.RUnlock()
+	if on {
+		return
+	}
+	b.mu.Lock()
+	if !b.sumsOn {
+		b.sums = index.SummarizeAll(b.entries)
+		b.sumsOn = true
+	}
+	b.mu.Unlock()
+}
+
+// View is one shard's contribution to a consistent cut: immutable slices
+// (never written after publication) plus the shard epoch they correspond
+// to. Sums is non-nil only when the cut was taken with summaries.
+type View struct {
+	Entries []*db.Entry
+	Sums    []index.Summary
+	Epoch   uint64
+}
+
+// Views assembles a consistent cut across every shard: per-shard snapshot
+// slices plus the global epoch the cut corresponds to. The cut is
+// optimistic — snapshot all shards, then verify the global epoch did not
+// move — and falls back to locking every shard when mutations keep
+// winning the race. withSums activates and includes the per-shard
+// prefilter summaries.
+func (m *Map) Views(withSums bool) ([]View, uint64) {
+	if withSums {
+		for _, b := range m.shards {
+			b.ensureSums()
+		}
+	}
+	for attempt := 0; attempt < cutRetries; attempt++ {
+		before := m.gepoch.Load()
+		views := m.snapshot(withSums)
+		if m.gepoch.Load() == before {
+			return views, before
+		}
+	}
+	// Contended: take every shard lock for a guaranteed cut.
+	for _, b := range m.shards {
+		b.mu.RLock()
+	}
+	views := make([]View, len(m.shards))
+	for i, b := range m.shards {
+		views[i] = b.view(withSums)
+	}
+	epoch := m.gepoch.Load()
+	for _, b := range m.shards {
+		b.mu.RUnlock()
+	}
+	return views, epoch
+}
+
+// snapshot copies every shard's slice headers under its read lock.
+func (m *Map) snapshot(withSums bool) []View {
+	views := make([]View, len(m.shards))
+	for i, b := range m.shards {
+		b.mu.RLock()
+		views[i] = b.view(withSums)
+		b.mu.RUnlock()
+	}
+	return views
+}
+
+// view builds b's View; the caller holds b.mu (read suffices).
+func (b *bucket) view(withSums bool) View {
+	v := View{Entries: b.entries, Epoch: b.epoch}
+	if withSums {
+		v.Sums = b.sums
+	}
+	return v
+}
+
+// Ordered returns a consistent cut's entries sorted by ID — insertion
+// order, the logical-collection view that persistence, prior sampling and
+// rank-ordered consumers (GBDA-V1 size sampling) read. O(n log n).
+func (m *Map) Ordered() []*db.Entry {
+	views, _ := m.Views(false)
+	return OrderViews(views)
+}
+
+// OrderViews flattens a cut into one ID-sorted entry slice.
+func OrderViews(views []View) []*db.Entry {
+	n := 0
+	for _, v := range views {
+		n += len(v.Entries)
+	}
+	out := make([]*db.Entry, 0, n)
+	for _, v := range views {
+		out = append(out, v.Entries...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SamplePairGBDs draws the offline stage's deterministic pair sample over
+// the ID-ordered snapshot — the same pairs, in the same order, as the
+// flat collection draws for the same seed and contents.
+func (m *Map) SamplePairGBDs(n int, seed int64) []float64 {
+	return db.SamplePairGBDsEntries(m.Ordered(), n, seed)
+}
+
+// Stats merges the per-shard statistics into the collection summary (the
+// shape of the paper's Table III). Label and size counts are refcounted
+// per shard, so deletes subtract exactly; the merged distinct-label
+// counts are unions, not sums.
+func (m *Map) Stats() db.Stats {
+	var s db.Stats
+	vl := make(map[graph.ID]struct{})
+	el := make(map[graph.ID]struct{})
+	var sumDeg float64
+	for _, b := range m.shards {
+		b.mu.RLock()
+		s.Graphs += b.st.n
+		if b.st.maxV > s.MaxV {
+			s.MaxV = b.st.maxV
+		}
+		if b.st.maxE > s.MaxE {
+			s.MaxE = b.st.maxE
+		}
+		sumDeg += b.st.sumDeg
+		for l := range b.st.vLabels {
+			vl[l] = struct{}{}
+		}
+		for l := range b.st.eLabels {
+			el[l] = struct{}{}
+		}
+		b.mu.RUnlock()
+	}
+	s.LV, s.LE = len(vl), len(el)
+	if s.Graphs > 0 {
+		s.AvgDegree = sumDeg / float64(s.Graphs)
+	}
+	return s
+}
+
+// DistinctSizes merges the per-shard vertex-count histograms into the
+// ascending distinct sizes of stored graphs — the sizes a posterior
+// table prebuilds rows for. The merge is memoised per epoch (search
+// preparation calls this on every GBDA-family prepare); callers must not
+// mutate the returned slice. The epoch is read before the merge, so a
+// racing mutation at worst stores a conservative entry that the next
+// call rebuilds.
+func (m *Map) DistinctSizes() []int {
+	epoch := m.gepoch.Load()
+	if c := m.sizes.Load(); c != nil && c.epoch == epoch {
+		return c.sizes
+	}
+	set := make(map[int]struct{})
+	for _, b := range m.shards {
+		b.mu.RLock()
+		for v := range b.st.sizes {
+			set[v] = struct{}{}
+		}
+		b.mu.RUnlock()
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	m.sizes.Store(&sizesCache{epoch: epoch, sizes: out})
+	return out
+}
+
+// ShardSizes reports the current entry count of every shard — placement
+// diagnostics for /v1/stats and the balance tests.
+func (m *Map) ShardSizes() []int {
+	out := make([]int, len(m.shards))
+	for i, b := range m.shards {
+		b.mu.RLock()
+		out[i] = len(b.entries)
+		b.mu.RUnlock()
+	}
+	return out
+}

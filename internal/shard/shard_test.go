@@ -1,0 +1,445 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"gsim/internal/branch"
+	"gsim/internal/db"
+	"gsim/internal/graph"
+	"gsim/internal/index"
+)
+
+// chain builds a small labeled path graph against dict.
+func chain(dict *graph.Labels, name string, n int, label string) *graph.Graph {
+	g := graph.New(n)
+	g.Name = name
+	for i := 0; i < n; i++ {
+		g.AddVertex(dict.Intern(fmt.Sprintf("%s%d", label, i%3)))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, dict.Intern("e"))
+	}
+	return g
+}
+
+func fill(m *Map, n int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = m.Add(chain(m.Dict(), fmt.Sprintf("g%d", i), 3+i%5, "L"))
+	}
+	return ids
+}
+
+// TestAddAssignsSequentialIDs: IDs are dense and insertion-ordered, the
+// ordered view recovers insertion order, and every entry is reachable by
+// Get from whatever shard it hashed to.
+func TestAddAssignsSequentialIDs(t *testing.T) {
+	m := New("t", 4)
+	ids := fill(m, 50)
+	for i, id := range ids {
+		if id != uint64(i) {
+			t.Fatalf("ID %d assigned for insert %d", id, i)
+		}
+		e, ok := m.Get(id)
+		if !ok || e.ID != id || e.G.Name != fmt.Sprintf("g%d", i) {
+			t.Fatalf("Get(%d) = %+v, %v", id, e, ok)
+		}
+	}
+	ord := m.Ordered()
+	if len(ord) != 50 {
+		t.Fatalf("Ordered holds %d entries", len(ord))
+	}
+	for i, e := range ord {
+		if e.ID != uint64(i) {
+			t.Fatalf("Ordered[%d].ID = %d", i, e.ID)
+		}
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+// TestShardingDistributes: with enough entries every shard of a small map
+// holds some, and sizes sum to the total.
+func TestShardingDistributes(t *testing.T) {
+	m := New("t", 4)
+	fill(m, 400)
+	total := 0
+	for s, n := range m.ShardSizes() {
+		if n == 0 {
+			t.Fatalf("shard %d empty after 400 inserts", s)
+		}
+		total += n
+	}
+	if total != 400 {
+		t.Fatalf("shard sizes sum to %d", total)
+	}
+}
+
+// TestDeleteSwapRemove: deletion removes exactly the victim, keeps every
+// other ID resolvable, bumps the epoch, and releases branch refcounts.
+func TestDeleteSwapRemove(t *testing.T) {
+	m := New("t", 3)
+	ids := fill(m, 30)
+	e0 := m.Epoch()
+	if e0 != 30 {
+		t.Fatalf("epoch after 30 adds = %d", e0)
+	}
+	if m.Delete(999) {
+		t.Fatal("deleted a nonexistent ID")
+	}
+	if m.Epoch() != e0 {
+		t.Fatal("failed delete moved the epoch")
+	}
+	victim := ids[7]
+	if !m.Delete(victim) {
+		t.Fatal("delete failed")
+	}
+	if m.Epoch() != e0+1 {
+		t.Fatalf("epoch after delete = %d, want %d", m.Epoch(), e0+1)
+	}
+	if _, ok := m.Get(victim); ok {
+		t.Fatal("deleted ID still resolvable")
+	}
+	if m.Delete(victim) {
+		t.Fatal("double delete succeeded")
+	}
+	if m.Len() != 29 {
+		t.Fatalf("Len = %d after delete", m.Len())
+	}
+	for _, id := range ids {
+		if id == victim {
+			continue
+		}
+		if e, ok := m.Get(id); !ok || e.ID != id {
+			t.Fatalf("ID %d lost after deleting %d", id, victim)
+		}
+	}
+	ord := m.Ordered()
+	for i := 1; i < len(ord); i++ {
+		if ord[i-1].ID >= ord[i].ID {
+			t.Fatal("Ordered not strictly ascending after delete")
+		}
+	}
+}
+
+// TestUpdateReplacesInPlace: update keeps the ID and shard, swaps the
+// graph, resyncs stats, and bumps the epoch once.
+func TestUpdateReplacesInPlace(t *testing.T) {
+	m := New("t", 2)
+	ids := fill(m, 10)
+	before := m.Epoch()
+	g := chain(m.Dict(), "updated", 9, "Z")
+	if m.Update(12345, g) {
+		t.Fatal("updated a nonexistent ID")
+	}
+	if !m.Update(ids[3], g) {
+		t.Fatal("update failed")
+	}
+	if m.Epoch() != before+1 {
+		t.Fatalf("epoch after update = %d, want %d", m.Epoch(), before+1)
+	}
+	e, ok := m.Get(ids[3])
+	if !ok || e.G.Name != "updated" || e.ID != ids[3] {
+		t.Fatalf("Get after update = %+v, %v", e, ok)
+	}
+	if m.Len() != 10 {
+		t.Fatalf("Len changed by update: %d", m.Len())
+	}
+	if st := m.Stats(); st.MaxV != 9 {
+		t.Fatalf("MaxV after update = %d, want 9", st.MaxV)
+	}
+}
+
+// TestStatsTrackMutations: the merged statistics follow adds, deletes and
+// updates exactly — including high-water marks shrinking when the largest
+// graph goes away.
+func TestStatsTrackMutations(t *testing.T) {
+	m := New("t", 4)
+	small := chain(m.Dict(), "s", 3, "A")
+	big := chain(m.Dict(), "b", 12, "B")
+	idSmall := m.Add(small)
+	idBig := m.Add(big)
+	if st := m.Stats(); st.Graphs != 2 || st.MaxV != 12 {
+		t.Fatalf("stats %+v", st)
+	}
+	if !m.Delete(idBig) {
+		t.Fatal("delete big failed")
+	}
+	st := m.Stats()
+	if st.Graphs != 1 || st.MaxV != 3 {
+		t.Fatalf("after deleting the max: %+v", st)
+	}
+	// Label counts: only the small graph's labels remain distinct.
+	if st.LV == 0 || st.LE != 1 {
+		t.Fatalf("label stats %+v", st)
+	}
+	sizes := m.DistinctSizes()
+	if len(sizes) != 1 || sizes[0] != 3 {
+		t.Fatalf("DistinctSizes = %v", sizes)
+	}
+	m.Delete(idSmall)
+	if st := m.Stats(); st.Graphs != 0 || st.MaxV != 0 || st.LV != 0 {
+		t.Fatalf("empty stats %+v", st)
+	}
+}
+
+// TestViewsConsistentCut: a cut's entries and epoch agree, snapshots are
+// immune to later mutations, and the with-sums cut carries summaries
+// aligned slot for slot.
+func TestViewsConsistentCut(t *testing.T) {
+	m := New("t", 3)
+	ids := fill(m, 40)
+	views, epoch := m.Views(true)
+	if epoch != m.Epoch() {
+		t.Fatalf("cut epoch %d, live %d", epoch, m.Epoch())
+	}
+	n := 0
+	for s, v := range views {
+		if len(v.Sums) != len(v.Entries) {
+			t.Fatalf("shard %d: %d sums for %d entries", s, len(v.Sums), len(v.Entries))
+		}
+		for i, e := range v.Entries {
+			want := index.Summarize(e.G)
+			if v.Sums[i].V != want.V || v.Sums[i].E != want.E {
+				t.Fatalf("shard %d slot %d: summary mismatch", s, i)
+			}
+		}
+		n += len(v.Entries)
+	}
+	if n != 40 {
+		t.Fatalf("cut covers %d entries", n)
+	}
+	// Mutate heavily; the old cut must not change.
+	for _, id := range ids[:20] {
+		m.Delete(id)
+	}
+	fill(m, 10)
+	n2 := 0
+	for _, v := range views {
+		n2 += len(v.Entries)
+	}
+	if n2 != 40 {
+		t.Fatalf("old cut shrank to %d entries", n2)
+	}
+	// A new cut reflects the mutations and a larger epoch.
+	_, epoch2 := m.Views(false)
+	if epoch2 <= epoch {
+		t.Fatalf("epoch did not advance: %d → %d", epoch, epoch2)
+	}
+	if m.Len() != 30 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+// TestIncrementalSums: after the first with-sums cut, inserts, deletes
+// and updates keep the per-shard summaries aligned with the entries.
+func TestIncrementalSums(t *testing.T) {
+	m := New("t", 2)
+	ids := fill(m, 20)
+	m.Views(true) // activates summary maintenance
+	m.Delete(ids[4])
+	m.Update(ids[5], chain(m.Dict(), "upd", 11, "Q"))
+	fill(m, 5)
+	views, _ := m.Views(true)
+	for s, v := range views {
+		if len(v.Sums) != len(v.Entries) {
+			t.Fatalf("shard %d: sums misaligned", s)
+		}
+		for i, e := range v.Entries {
+			want := index.Summarize(e.G)
+			got := v.Sums[i]
+			if got.V != want.V || got.E != want.E || len(got.VLabels) != len(want.VLabels) {
+				t.Fatalf("shard %d slot %d (graph %s): stale summary", s, i, e.G.Name)
+			}
+		}
+	}
+}
+
+// TestCommitAtomicAndValidated: a batch with an unknown update ID changes
+// nothing; a valid batch lands whole, with inserts contiguous from the
+// returned first ID.
+func TestCommitAtomicAndValidated(t *testing.T) {
+	m := New("t", 3)
+	ids := fill(m, 6)
+	epoch := m.Epoch()
+	bogus := uint64(777)
+	_, missing, ok := m.Commit([]Mutation{
+		{G: chain(m.Dict(), "new0", 4, "N")},
+		{ID: &bogus, G: chain(m.Dict(), "nope", 4, "N")},
+	})
+	if ok || missing != bogus {
+		t.Fatalf("invalid commit: ok=%v missing=%d", ok, missing)
+	}
+	if m.Len() != 6 || m.Epoch() != epoch {
+		t.Fatal("failed commit left changes behind")
+	}
+	first, _, ok := m.Commit([]Mutation{
+		{G: chain(m.Dict(), "new0", 4, "N")},
+		{ID: &ids[1], G: chain(m.Dict(), "upd1", 5, "U")},
+		{G: chain(m.Dict(), "new1", 4, "N")},
+	})
+	if !ok || first != 6 {
+		t.Fatalf("commit: ok=%v first=%d", ok, first)
+	}
+	if m.Len() != 8 {
+		t.Fatalf("Len = %d after commit", m.Len())
+	}
+	if e, _ := m.Get(ids[1]); e.G.Name != "upd1" {
+		t.Fatalf("update in batch not applied: %s", e.G.Name)
+	}
+	if e, ok := m.Get(7); !ok || e.G.Name != "new1" {
+		t.Fatal("second insert not at first+1")
+	}
+	if m.Epoch() <= epoch {
+		t.Fatal("commit did not advance the epoch")
+	}
+}
+
+// TestFromCollectionPreservesIdentity: a store built from a flat
+// collection numbers entries like the collection, shares its
+// dictionaries, and answers Get for every original index.
+func TestFromCollectionPreservesIdentity(t *testing.T) {
+	col := db.New("seed")
+	for i := 0; i < 25; i++ {
+		col.Add(chain(col.Dict, fmt.Sprintf("c%d", i), 3+i%4, "L"))
+	}
+	m := FromCollection(col, 4)
+	if m.Len() != 25 || m.NextID() != 25 {
+		t.Fatalf("Len=%d NextID=%d", m.Len(), m.NextID())
+	}
+	if m.Dict() != col.Dict || m.BranchDict() != col.BranchDict() {
+		t.Fatal("dictionaries not adopted")
+	}
+	for i := 0; i < 25; i++ {
+		e, ok := m.Get(uint64(i))
+		if !ok || e != col.Entry(i) {
+			t.Fatalf("entry %d not adopted verbatim", i)
+		}
+	}
+	cs, ms := col.Stats(), m.Stats()
+	if cs != ms {
+		t.Fatalf("stats diverge: collection %+v, map %+v", cs, ms)
+	}
+	// Pair sampling draws identically for identical contents.
+	a := col.SamplePairGBDs(500, 42)
+	b := m.SamplePairGBDs(500, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d diverges: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestDeleteReleasesBranchRefs: deleting graphs drives their branch keys
+// dead; an explicit compaction reclaims them without touching live keys.
+func TestDeleteReleasesBranchRefs(t *testing.T) {
+	m := New("t", 2)
+	// Two graph families with disjoint branch shapes.
+	keep := m.Add(chain(m.Dict(), "keep", 4, "K"))
+	var gone []uint64
+	for i := 0; i < 8; i++ {
+		gone = append(gone, m.Add(chain(m.Dict(), fmt.Sprintf("gone%d", i), 7, "X")))
+	}
+	liveBefore := m.BranchDict().Stats().Live
+	for _, id := range gone {
+		m.Delete(id)
+	}
+	st := m.BranchDict().Stats()
+	if st.Dead == 0 {
+		t.Fatalf("no dead keys after deleting every X graph: %+v", st)
+	}
+	reclaimed := m.BranchDict().Compact()
+	if reclaimed != st.Dead {
+		t.Fatalf("compaction reclaimed %d of %d dead keys", reclaimed, st.Dead)
+	}
+	after := m.BranchDict().Stats()
+	if after.Live >= liveBefore || after.Dead != 0 {
+		t.Fatalf("post-compaction stats %+v (live before %d)", after, liveBefore)
+	}
+	// The kept graph's interned multiset still matches itself.
+	e, _ := m.Get(keep)
+	qids := m.BranchDict().ResolveMultiset(branch.MultisetOf(e.G))
+	if branch.GBDIDs(qids, e.Branches) != 0 {
+		t.Fatal("live interned set disturbed by compaction")
+	}
+}
+
+// TestConcurrentMutations hammers all mutation paths from many goroutines
+// while cuts are taken concurrently — the -race exercise for the
+// per-shard locking discipline. Invariants: cuts never tear (their entry
+// count matches their epoch's consistency), the epoch only moves
+// forward, and the final state reconciles adds minus deletes.
+func TestConcurrentMutations(t *testing.T) {
+	m := New("t", 4)
+	seed := fill(m, 64)
+	var wg sync.WaitGroup
+	const workers = 6
+	var deleted sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					m.Add(chain(m.Dict(), fmt.Sprintf("w%d_%d", w, i), 3+rng.Intn(6), "W"))
+				case 1:
+					id := seed[rng.Intn(len(seed))]
+					if m.Delete(id) {
+						deleted.Store(id, true)
+					}
+				default:
+					m.Update(seed[rng.Intn(len(seed))], chain(m.Dict(), "u", 3+rng.Intn(6), "U"))
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		last := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			views, epoch := m.Views(true)
+			if epoch < last {
+				t.Error("epoch went backwards")
+				return
+			}
+			last = epoch
+			for _, v := range views {
+				if len(v.Sums) != len(v.Entries) {
+					t.Error("torn cut: sums misaligned")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	total := 0
+	for _, n := range m.ShardSizes() {
+		total += n
+	}
+	if total != m.Len() {
+		t.Fatalf("shard sizes %d != Len %d", total, m.Len())
+	}
+	deleted.Range(func(k, _ any) bool {
+		if _, ok := m.Get(k.(uint64)); ok {
+			t.Errorf("deleted ID %d still present", k)
+		}
+		return true
+	})
+}

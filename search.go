@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"gsim/internal/db"
@@ -172,7 +173,10 @@ var ErrBadOptions = method.ErrBadOptions
 
 // Match is one search hit.
 type Match struct {
-	// Index is the collection index of the matched graph.
+	// Index is the stable graph ID of the matched graph — the value Store
+	// returned and Delete/Update accept. For a database that never
+	// deletes, IDs are dense insertion indexes (the pre-shard collection
+	// index).
 	Index int
 	// Name is the matched graph's name.
 	Name string
@@ -207,27 +211,46 @@ func (r *Result) Indexes() []int {
 }
 
 // preparedSearch is a validated search ready to run over any number of
-// queries: the scorer is prepared, the collection and active subset
-// snapshotted, and the prefilter index (if requested) synced with the
-// collection. It is both the amortisation unit behind Search,
+// queries: the scorer is prepared and a consistent cut of per-shard
+// snapshots taken (with prefilter summaries when requested), flattened
+// into one scan set. It is both the amortisation unit behind Search,
 // SearchStream, SearchTopK and SearchBatch and the isolation unit of the
-// database's concurrency model — the scan reads only this snapshot, so
+// database's concurrency model — the scan reads only this cut, so
 // mutations committed after prepare never reach an in-flight search.
+//
+// The flat scan set is the gather side of scatter-gather: entries come
+// from per-shard snapshot slices (concatenated for a full scan, picked
+// in list order for an active subset), the flattening is memoised per
+// store epoch (see Database.projection), and the output order key — the
+// stable graph ID, or the flat position itself for an active subset —
+// reproduces the pre-shard result order exactly.
 type preparedSearch struct {
 	opt     SearchOptions
 	info    method.Info
 	scorer  method.Scorer
-	idx     []int          // active collection indexes
-	entries []*db.Entry    // collection view at prepare time; scans index this, never the live collection
-	bdict   *db.BranchDict // branch dictionary queries resolve against (append-only; covers every snapshot entry)
-	epoch   uint64         // database epoch the snapshot was taken at
-	ix      *index.Index   // non-nil iff opt.Prefilter
+	entries []*db.Entry     // the scan set: one flat slice over the cut
+	sums    []index.Summary // aligned prefilter summaries; nil without Prefilter
+	byPos   bool            // active subset: output order is flat position, not graph ID
+	bdict   *db.BranchDict  // branch dictionary queries resolve against (IDs are never reused, so resolving after prepare can only miss deleted entries, never mis-match)
+	epoch   uint64          // database epoch the cut corresponds to
+
+	orderedOnce sync.Once
+	orderedSet  []*db.Entry // scan set in output order; built on demand
 }
 
-// prepare validates opt against the database state and readies a scorer.
-// It holds the database read lock while the scorer prepares and the state
-// snapshot is taken, then releases it — the scan itself runs lock-free
-// against the snapshot.
+// key returns the output-order key of flat position pos.
+func (ps *preparedSearch) key(pos int) int {
+	if ps.byPos {
+		return pos
+	}
+	return int(ps.entries[pos].ID)
+}
+
+// prepare validates opt against the database state, takes a consistent
+// cut of the sharded store and readies a scorer. It holds the database
+// read lock (which excludes prior refits and snapshot swaps, not
+// per-shard ingest) while preparing; the scan itself runs lock-free
+// against the cut.
 func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 	opt = opt.withDefaults()
 	info, ok := method.Lookup(method.ID(opt.Method))
@@ -243,70 +266,158 @@ func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 	scorer := info.New()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if err := scorer.Prepare(d.methodView(), opt.methodOptions()); err != nil {
-		return nil, err
-	}
+	proj := d.projection(opt.Prefilter)
 	ps := &preparedSearch{
 		opt:     opt,
 		info:    info,
 		scorer:  scorer,
-		idx:     d.activeIndexes(),
-		entries: d.col.Entries(),
-		bdict:   d.col.BranchDict(),
-		epoch:   d.epoch,
+		entries: proj.entries,
+		byPos:   d.active != nil,
+		bdict:   d.store.BranchDict(),
+		epoch:   d.epoch + proj.epoch,
 	}
 	if opt.Prefilter {
-		ps.ix = d.prefilterIndex()
+		ps.sums = proj.sums
+	}
+	mdb := &method.DB{
+		ActiveN:  len(ps.entries),
+		Ordered:  ps.ordered,
+		Sizes:    d.store.DistinctSizes,
+		WS:       d.ws,
+		GBDPrior: d.gbdPrior,
+		TauMax:   d.tauMax,
+	}
+	if err := scorer.Prepare(mdb, opt.methodOptions()); err != nil {
+		return nil, err
 	}
 	return ps, nil
 }
 
-// stream scans the active subset for one query, feeding every kept match
-// to emit (serialised, position-tagged, unordered). It returns the number
+// projection returns the flat scan set over a consistent cut of the
+// store, memoised per store epoch: the flattening costs one pointer pass
+// over the cut (the pre-shard code paid the same O(n) on every prepare),
+// so searches between mutations reuse it and prepare in O(1). A cached
+// projection built with summaries also serves non-prefiltered searches
+// (they never read sums); the reverse rebuilds. The caller must hold
+// d.mu (read suffices); apMu serialises rebuilds against each other.
+func (d *Database) projection(withSums bool) *projection {
+	d.apMu.Lock()
+	defer d.apMu.Unlock()
+	if p := d.proj; p != nil && p.store == d.store && p.epoch == d.store.Epoch() && (p.withSums || !withSums) {
+		// Same store and equal epoch means no shard mutated since the
+		// cached cut was taken, so its slices are the current state. The
+		// store identity check matters: LoadBinary installs a fresh Map
+		// whose epoch restarts at zero, which a bare epoch compare could
+		// mistake for the cached cut.
+		return p
+	}
+	views, epoch := d.store.Views(withSums)
+	p := &projection{store: d.store, epoch: epoch, withSums: withSums}
+	if d.active == nil {
+		n := 0
+		for _, v := range views {
+			n += len(v.Entries)
+		}
+		p.entries = make([]*db.Entry, 0, n)
+		for _, v := range views {
+			p.entries = append(p.entries, v.Entries...)
+		}
+		if withSums {
+			p.sums = make([]index.Summary, 0, n)
+			for _, v := range views {
+				p.sums = append(p.sums, v.Sums...)
+			}
+		}
+	} else {
+		// Pick active IDs in list order, so the flat position is the
+		// output rank (active IDs no longer stored are skipped).
+		type loc struct{ part, slot int }
+		where := make(map[uint64]loc)
+		for pi, v := range views {
+			for si, e := range v.Entries {
+				where[e.ID] = loc{pi, si}
+			}
+		}
+		p.entries = make([]*db.Entry, 0, len(d.active))
+		if withSums {
+			p.sums = make([]index.Summary, 0, len(d.active))
+		}
+		for _, id := range d.active {
+			l, ok := where[uint64(id)]
+			if !ok {
+				continue
+			}
+			p.entries = append(p.entries, views[l.part].Entries[l.slot])
+			if withSums {
+				p.sums = append(p.sums, views[l.part].Sums[l.slot])
+			}
+		}
+	}
+	d.proj = p
+	return p
+}
+
+// ordered returns the scan set in output order — ascending graph ID for a
+// full scan, active-list order for a subset — memoised because only
+// rank-sampling scorer preparation (GBDA-V1) needs it.
+func (ps *preparedSearch) ordered() []*db.Entry {
+	ps.orderedOnce.Do(func() {
+		if ps.byPos {
+			ps.orderedSet = ps.entries // flat position is the output rank
+			return
+		}
+		ps.orderedSet = append([]*db.Entry(nil), ps.entries...)
+		sort.Slice(ps.orderedSet, func(a, b int) bool { return ps.orderedSet[a].ID < ps.orderedSet[b].ID })
+	})
+	return ps.orderedSet
+}
+
+// stream scans the flat cut for one query, feeding every kept match to
+// emit (serialised, position-tagged, unordered). It returns the number
 // of graphs examined.
 func (ps *preparedSearch) stream(ctx context.Context, q *Query, emit func(pos int, m Match) bool) (int, error) {
 	// Resolve the query's key-form multiset into interned IDs once per
-	// scan: the dictionary only grows, and every key a snapshot entry uses
-	// was interned before the snapshot was taken, so resolving at-or-after
-	// prepare can never miss a match. Unknown keys get ephemeral IDs that
-	// match nothing — exactly the key semantics.
+	// scan. Branch IDs are never reused (deletes retire them), so a
+	// resolution taken at-or-after prepare can never mis-match a snapshot
+	// entry; unknown keys get ephemeral IDs that match nothing — exactly
+	// the key semantics.
 	qids := ps.bdict.ResolveMultiset(q.branches)
 	mq := &method.Query{G: q.g, Branches: qids}
 	var qs index.Summary
-	if ps.ix != nil {
+	if ps.opt.Prefilter {
 		qs = index.Summarize(q.g)
 	}
 	process := func(pos int) (Match, bool, error) {
-		i := ps.idx[pos]
-		if ps.ix != nil && ps.ix.Prunable(qs, qids, i, ps.opt.Tau) {
+		e := ps.entries[pos]
+		if ps.opt.Prefilter && index.PairPrunable(qs, qids, ps.sums[pos], e, ps.opt.Tau) {
 			return Match{}, false, nil
 		}
-		e := ps.entries[i]
 		keep, score, err := ps.scorer.Score(mq, e)
 		if err != nil {
 			return Match{}, false, err
 		}
-		return Match{Index: i, Name: e.G.Name, Score: score}, keep, nil
+		return Match{Index: int(e.ID), Name: e.G.Name, Score: score}, keep, nil
 	}
-	return engine.Scan(ctx, len(ps.idx), engine.Options{Workers: ps.opt.Workers}, process, emit)
+	return engine.Scan(ctx, len(ps.entries), engine.Options{Workers: ps.opt.Workers}, process, emit)
 }
 
-// collect runs one query to completion and gathers matches in scan order.
+// collect runs one query to completion and gathers matches in
+// deterministic output order (ascending graph ID / active rank).
 func (ps *preparedSearch) collect(ctx context.Context, q *Query) (*Result, error) {
 	start := time.Now()
 	type hit struct {
-		pos int
+		key int
 		m   Match
 	}
 	var hits []hit
 	scanned, err := ps.stream(ctx, q, func(pos int, m Match) bool {
-		hits = append(hits, hit{pos, m})
+		hits = append(hits, hit{ps.key(pos), m})
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(hits, func(a, b int) bool { return hits[a].pos < hits[b].pos })
+	sort.Slice(hits, func(a, b int) bool { return hits[a].key < hits[b].key })
 	matches := make([]Match, len(hits))
 	for i, h := range hits {
 		matches[i] = h.m

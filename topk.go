@@ -81,13 +81,12 @@ func (d *Database) SearchTopKBatch(ctx context.Context, queries []*Query, opt To
 		heaps[k] = &topKHeap{k: opt.K, ascending: info.Ascending}
 	}
 	scanned, err := ps.streamBatch(ctx, queries, bs, func(pos int, verdicts []method.Verdict) bool {
-		i := ps.idx[pos]
-		e := ps.entries[i]
+		e := ps.entries[pos]
 		for k, v := range verdicts {
 			if v.Skip || !v.Keep {
 				continue
 			}
-			heaps[k].offer(Match{Index: i, Name: e.G.Name, Score: v.Score})
+			heaps[k].offer(Match{Index: int(e.ID), Name: e.G.Name, Score: v.Score})
 		}
 		return true
 	})
