@@ -164,17 +164,17 @@ func (ps *preparedSearch) streamBatch(ctx context.Context, queries []*Query, bs 
 	if err := bs.PrepareBatch(mqs); err != nil {
 		return 0, err
 	}
-	var sums []index.Summary
+	var qps []index.QueryPre
 	if ps.opt.Prefilter {
-		sums = make([]index.Summary, len(queries))
+		qps = make([]index.QueryPre, len(queries))
 		for k, q := range queries {
-			sums[k] = index.Summarize(q.g)
+			qps[k] = index.PrepareQuery(q.g)
 		}
 	}
 	process := func(pos int, out []method.Verdict) error {
 		e := ps.entries[pos]
 		for k := range out {
-			out[k] = method.Verdict{Skip: ps.opt.Prefilter && index.PairPrunable(sums[k], mqs[k].Branches, ps.sums[pos], e, ps.opt.Tau)}
+			out[k] = method.Verdict{Skip: ps.opt.Prefilter && ps.pre.Prunable(&qps[k], mqs[k].Branches, e, pos, ps.opt.Tau)}
 		}
 		return bs.ScoreEntry(e, out)
 	}

@@ -64,15 +64,15 @@ type Database struct {
 // projection is the memoised flat scan set over one store epoch's
 // consistent cut: concatenated shard snapshots for a full scan, the
 // picked active subset (in list order) otherwise, plus the aligned
-// prefilter summaries when built with them. store pins the Map the cut
+// columnar prefilter when built with it. store pins the Map the cut
 // was taken from: a LoadBinary swap installs a fresh Map whose epoch
 // restarts at zero, so epoch equality alone cannot validate the cache.
 type projection struct {
-	store    *shard.Map
-	epoch    uint64
-	withSums bool
-	entries  []*db.Entry
-	sums     []index.Summary
+	store   *shard.Map
+	epoch   uint64
+	withPre bool
+	entries []*db.Entry
+	pre     *index.Flat
 }
 
 // Epoch returns the database version: a counter advanced by every
@@ -698,6 +698,19 @@ func (d *Database) BranchDictStats() db.DictStats {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.store.BranchDict().Stats()
+}
+
+// PrefilterStats is the columnar prefilter's aggregate memory footprint
+// across shards — see index.MemStats for the counters.
+type PrefilterStats = index.MemStats
+
+// PrefilterStats aggregates the per-shard columnar prefilter footprint.
+// All counters are zero until a prefiltered search (or a with-prefilter
+// cut) first activates the stores.
+func (d *Database) PrefilterStats() PrefilterStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.store.PrefilterMem()
 }
 
 // PosteriorTableStats reports the posterior lookup tables cached on the

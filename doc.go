@@ -52,17 +52,33 @@
 //
 // Under everything sits a sharded mutable collection (internal/shard):
 //
-//	shard map  →  per-shard entries + prefilter summaries  →  scatter-gather scan
+//	shard map  →  per-shard entries + columnar prefilter store  →  scatter-gather scan
 //
 // Every stored graph gets a stable ID at insert time (the value Store
 // returns, Match.Index reports, and Delete/Update accept) and is hashed
 // onto one of N shards — N is configurable (NewDatabaseShards, gsimd
 // -shards), defaulting to GOMAXPROCS. Each shard owns its entry slice,
-// its slice of admissible-filter summaries (internal/index), an epoch
-// counter and a mutation lock, so ingest, delete and update on different
-// shards commit concurrently instead of serialising behind one
-// collection-wide mutex; bulk ingest (LoadText, StoreAll, CommitAll)
-// briefly locks every shard for its none-or-all contract.
+// its succinct prefilter store (internal/index), an epoch counter and a
+// mutation lock, so ingest, delete and update on different shards commit
+// concurrently instead of serialising behind one collection-wide mutex;
+// bulk ingest (LoadText, StoreAll, CommitAll) briefly locks every shard
+// for its none-or-all contract.
+//
+// The prefilter store keeps its admissible-filter summaries columnar
+// rather than as per-graph slices: one 8-byte quantized signature word
+// per entry (sizes plus saturating label-bucket counters), one 12-byte
+// span locator, and a shared label arena encoding each entry's sorted
+// label multisets as delta+run varints. The hot prune decision compares
+// two signature words with a few SWAR operations and touches no
+// pointers; only pairs the signature cannot prove prunable pay for the
+// exact arena-walk label distance and the branch lower bound — with the
+// exact same prune set as the slice layout, since the signature is
+// admissible by construction (saturated bucket regions are dropped, so
+// it can only under-estimate distance, never over-prune). Stores append
+// incrementally, deletes swap-remove and account dead arena bytes, and
+// a per-shard compaction rewrites the arena once dead space crosses a
+// threshold; /v1/stats reports each column's footprint next to the
+// legacy-equivalent bytes.
 //
 // Deletion and update are first-class: Delete swap-removes within the
 // owning shard (no tombstones) and resyncs that shard's summaries;

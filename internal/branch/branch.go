@@ -82,28 +82,51 @@ func MultisetOf(g *graph.Graph) Multiset {
 }
 
 // GallopRatio is the size skew at which intersectSorted abandons the
-// linear merge for galloping search: once the larger multiset is at least
-// this many times the smaller, probing the big side with exponential
-// search costs O(|small|·log(|big|/|small|)) comparisons where the merge
-// pays O(|small|+|big|) — the classic crossover of adaptive set
-// intersection, relevant here when a tiny query meets a huge stored graph
-// (or vice versa).
-const GallopRatio = 16
+// merge kernels for galloping search: once the larger multiset is at
+// least this many times the smaller, probing the big side with
+// exponential search costs O(|small|·log(|big|/|small|)) comparisons
+// where the merge pays O(|small|+|big|). The value comes from the
+// BenchmarkGallopSweep measurement recorded in README.md's performance
+// notes, not from theory: galloping won at every measured skew from 2×
+// up (1.2× faster at 2×, 7.7× at 64×) and merely tied the merge on
+// balanced inputs, so the crossover sits at the textbook ratio of ~2 —
+// the doubling probes' branch mispredictions never push it higher on
+// this workload.
+const GallopRatio = 2
+
+// blockedMinLen is the smaller-side length below which the blocked merge
+// kernel is not worth its block bookkeeping and the plain merge runs.
+// Measured on clustered-ID multisets (the shape interning produces —
+// see intersectBlocked): blocked loses ~25% at 512 elements, wins 1.8×
+// at 1024 and 3× at 4096, so the cutover sits at 1024.
+const blockedMinLen = 1024
+
+// mergeBlock is the skip granularity of intersectBlocked: one comparison
+// against a block's last element can retire the whole block.
+const mergeBlock = 8
 
 // intersectSorted returns |a ∩ b| for two multisets sorted under the same
 // total order — the single implementation behind both the Key and the
-// interned-ID paths. Balanced inputs take one linear merge; skewed inputs
-// (size ratio ≥ GallopRatio) gallop the small side through the big one.
-// Both paths implement the same multiset semantics: each matched pair
-// consumes one occurrence from each side, so duplicates count as
-// min(countA, countB). The dispatcher is kept tiny so it inlines into
-// the scan hot path; the loops live in their own functions.
+// interned-ID paths, and the dispatcher of the three merge strategies:
+// skewed inputs (size ratio ≥ GallopRatio) gallop the small side through
+// the big one, balanced inputs of real length take the blocked merge,
+// and tiny inputs take the plain linear merge. All paths implement the
+// same multiset semantics: each matched pair consumes one occurrence
+// from each side, so duplicates count as min(countA, countB). The
+// dispatcher is kept tiny so it inlines into the scan hot path; the
+// loops live in their own functions. (A fourth strategy — the bitset
+// kernel of dense.go — needs per-side precomputation over the interned
+// universe, so the batch scan layer dispatches to it by dictionary
+// density rather than this per-call size check.)
 func intersectSorted[T cmp.Ordered](a, b []T) int {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
 	if len(a)*GallopRatio <= len(b) {
 		return intersectGallop(a, b)
+	}
+	if len(a) >= blockedMinLen {
+		return intersectBlocked(a, b)
 	}
 	return intersectMerge(a, b)
 }
@@ -123,6 +146,47 @@ func intersectMerge[T cmp.Ordered](a, b []T) int {
 			i++
 		default:
 			j++
+		}
+	}
+	return n
+}
+
+// intersectBlocked is the merge kernel for balanced inputs long enough to
+// amortise block bookkeeping: both cursors advance in blocks of
+// mergeBlock, skipping a whole block with one comparison when its last
+// element is still below the other side's cursor, and falling into a
+// reduced-branch scalar merge — equality, ≤ and ≥ each advance
+// independently, which compiles without the three-way branch ladder of
+// intersectMerge — only when the blocks can actually overlap. The skip
+// pays off on clustered IDs: the dictionary interns a graph's branches
+// contiguously, so two large graphs' multisets occupy mostly-disjoint ID
+// bands and one comparison retires eight elements at a time. On fully
+// interleaved (uniform-random) inputs the skips never fire and the
+// bookkeeping costs ~25%, which is why blockedMinLen keeps small inputs
+// on the plain merge. Requires nothing of the argument order;
+// equivalence with the linear merge is pinned by TestBlockedMatchesMerge.
+func intersectBlocked[T cmp.Ordered](a, b []T) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if i+mergeBlock <= len(a) && a[i+mergeBlock-1] < b[j] {
+			i += mergeBlock
+			continue
+		}
+		if j+mergeBlock <= len(b) && b[j+mergeBlock-1] < a[i] {
+			j += mergeBlock
+			continue
+		}
+		for s := 0; s < mergeBlock && i < len(a) && j < len(b); s++ {
+			va, vb := a[i], b[j]
+			if va == vb {
+				n++
+			}
+			if va <= vb {
+				i++
+			}
+			if vb <= va {
+				j++
+			}
 		}
 	}
 	return n

@@ -1,0 +1,90 @@
+package branch
+
+import "math/bits"
+
+// DenseSpanLimit is the largest interned-branch universe (exclusive ID
+// upper bound, db.BranchDict.Universe) for which the bitset intersection
+// strategy is offered: above it an entry's word array outgrows the
+// multisets it represents and the merge kernels win. 8192 IDs is 128
+// words — two cache lines of bits per side — which word-AND/popcount
+// sweeps in a handful of nanoseconds.
+const DenseSpanLimit = 8192
+
+// Dense is a branch multiset in bitset form over a fixed ID span: one bit
+// per distinct ID below the span, plus Rest holding what the bits cannot —
+// duplicate occurrences beyond the first, and IDs at or above the span
+// (ephemeral query IDs live at 2³¹ and always land here, where they match
+// nothing stored). Rest stays sorted because Fill consumes sorted input
+// in order.
+//
+// Two Dense values are only comparable when built over the same span:
+// |A ∩ B| then decomposes exactly as popcount(words ANDed) — one per ID
+// both sides exhibit — plus the multiset intersection of the two Rest
+// overflows, which supplies min(countA,countB)−1 for the shared IDs and
+// the full min for out-of-span ones. Mixed spans would misclassify an ID
+// as bit on one side and Rest on the other and undercount.
+type Dense struct {
+	Words []uint64
+	Rest  IDs
+	N     int // multiset cardinality (len of the source IDs)
+}
+
+// DenseWords reports the word-array length a span needs.
+func DenseWords(span int) int { return (span + 63) >> 6 }
+
+// MakeDense builds the bitset form of a sorted ID multiset over span.
+func MakeDense(ids IDs, span int) *Dense {
+	d := &Dense{}
+	d.Fill(ids, span)
+	return d
+}
+
+// Fill rebuilds d in place from a sorted ID multiset, reusing the word
+// and Rest capacity — the scratch-reuse form the entry-major batch scan
+// pools (one Dense per worker, refilled per entry).
+func (d *Dense) Fill(ids IDs, span int) {
+	nw := DenseWords(span)
+	if cap(d.Words) < nw {
+		d.Words = make([]uint64, nw)
+	} else {
+		d.Words = d.Words[:nw]
+		clear(d.Words)
+	}
+	d.Rest = d.Rest[:0]
+	d.N = len(ids)
+	for _, id := range ids {
+		if int(id) < span {
+			w, bit := id>>6, uint64(1)<<(id&63)
+			if d.Words[w]&bit == 0 {
+				d.Words[w] |= bit
+				continue
+			}
+		}
+		d.Rest = append(d.Rest, id)
+	}
+}
+
+// IntersectSizeDense returns |a ∩ b| for two Dense multisets built over
+// the same span: word-ANDs counted by popcount, then the Rest overflows
+// merged with multiset semantics (the multiplicity patch-up).
+func IntersectSizeDense(a, b *Dense) int {
+	wa, wb := a.Words, b.Words
+	if len(wb) < len(wa) {
+		wa, wb = wb, wa
+	}
+	n := 0
+	for i, w := range wa {
+		n += bits.OnesCount64(w & wb[i])
+	}
+	if len(a.Rest) == 0 || len(b.Rest) == 0 {
+		return n
+	}
+	return n + intersectSorted(a.Rest, b.Rest)
+}
+
+// GBDOf applies Definition 4 / Eq. 1 to precomputed multiset sizes and an
+// intersection size obtained from any of the kernels.
+func GBDOf(la, lb, intersect int) int { return gbdOf(la, lb, intersect) }
+
+// GBDDense is GBDOf over the bitset representation.
+func GBDDense(a, b *Dense) int { return gbdOf(a.N, b.N, IntersectSizeDense(a, b)) }

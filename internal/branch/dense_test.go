@@ -1,0 +1,154 @@
+package branch
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// restIDs draws a sorted multiset where a fraction of IDs lies at or
+// above span — including the ephemeral query range at 2³¹ — so Dense's
+// Rest overflow path is exercised alongside the in-span bits.
+func restIDs(rng *rand.Rand, n, span int, ephFrac float64) IDs {
+	out := make(IDs, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < ephFrac {
+			out = append(out, ephemeralProbeBase+uint32(rng.Intn(8)))
+			continue
+		}
+		out = append(out, uint32(rng.Intn(span)))
+	}
+	slices.Sort(out)
+	return out
+}
+
+// ephemeralProbeBase mirrors db.EphemeralBranchBase without importing db
+// (which would cycle: db imports branch).
+const ephemeralProbeBase = uint32(1) << 31
+
+// TestDenseMatchesMerge: across spans, sizes, duplication levels and
+// ephemeral-ID fractions, the bitset intersection of two same-span Dense
+// forms must equal the linear-merge oracle on the raw multisets.
+func TestDenseMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	shapes := []struct {
+		na, nb, span int
+		eph          float64
+	}{
+		{0, 0, 64, 0}, {0, 40, 64, 0}, {1, 1, 1, 0},
+		{10, 10, 4, 0},        // tiny span: heavy duplication, Rest-dominated
+		{50, 50, 64, 0},       // span boundary IDs
+		{200, 300, 4096, 0},   // mostly-distinct: bit-dominated
+		{1000, 1000, 4096, 0}, // dense fill
+		{40, 40, 512, 0.3},    // ephemeral query IDs in Rest
+		{5, 800, 2048, 0.1},   // skewed sizes
+		{64, 64, 8192, 0},     // full DenseSpanLimit span
+	}
+	for _, s := range shapes {
+		for trial := 0; trial < 30; trial++ {
+			a := restIDs(rng, s.na, s.span, s.eph)
+			b := restIDs(rng, s.nb, s.span, s.eph)
+			want := linearIntersect(a, b)
+			da, db := MakeDense(a, s.span), MakeDense(b, s.span)
+			if got := IntersectSizeDense(da, db); got != want {
+				t.Fatalf("shape %+v trial %d: IntersectSizeDense = %d, oracle %d\na=%v\nb=%v",
+					s, trial, got, want, a, b)
+			}
+			if got := IntersectSizeDense(db, da); got != want {
+				t.Fatalf("shape %+v trial %d: swapped = %d, oracle %d", s, trial, got, want)
+			}
+			if da.N != len(a) || db.N != len(b) {
+				t.Fatalf("shape %+v: N not preserved (%d/%d vs %d/%d)", s, da.N, db.N, len(a), len(b))
+			}
+			if got, want := GBDDense(da, db), GBDIDs(a, b); got != want {
+				t.Fatalf("shape %+v trial %d: GBDDense = %d, GBDIDs %d", s, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestDenseFillReuse: refilling a pooled Dense must fully erase the prior
+// contents — stale bits or Rest entries would corrupt every later entry
+// scored through the same scratch.
+func TestDenseFillReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var d Dense
+	for trial := 0; trial < 200; trial++ {
+		span := 64 * (1 + rng.Intn(8))
+		ids := restIDs(rng, rng.Intn(100), span, 0.2)
+		d.Fill(ids, span)
+		fresh := MakeDense(ids, span)
+		if len(d.Words) != len(fresh.Words) {
+			t.Fatalf("trial %d: %d words, want %d", trial, len(d.Words), len(fresh.Words))
+		}
+		for i := range d.Words {
+			if d.Words[i] != fresh.Words[i] {
+				t.Fatalf("trial %d: stale word %d", trial, i)
+			}
+		}
+		if len(d.Rest) != len(fresh.Rest) {
+			t.Fatalf("trial %d: stale rest (%d vs %d)", trial, len(d.Rest), len(fresh.Rest))
+		}
+		for i := range d.Rest {
+			if d.Rest[i] != fresh.Rest[i] {
+				t.Fatalf("trial %d: stale rest entry %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestBlockedMatchesMerge: the blocked kernel must agree with the linear
+// oracle across balanced shapes, run-heavy multisets (which exercise the
+// block-skip fast path) and block-boundary lengths.
+func TestBlockedMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	shapes := []struct{ na, nb, u int }{
+		{0, 0, 1}, {0, 50, 8}, {1, 1, 1},
+		{mergeBlock, mergeBlock, 4},
+		{mergeBlock - 1, mergeBlock + 1, 16},
+		{100, 100, 16},    // duplicate-heavy: long runs
+		{100, 100, 10000}, // sparse: block skips dominate
+		{47, 213, 64},
+		{512, 512, 128},
+		{blockedMinLen, blockedMinLen * 3, 1000},
+	}
+	for _, s := range shapes {
+		for trial := 0; trial < 40; trial++ {
+			a := randomIDs(rng, s.na, s.u)
+			b := randomIDs(rng, s.nb, s.u)
+			want := linearIntersect(a, b)
+			if got := intersectBlocked(a, b); got != want {
+				t.Fatalf("shape %+v trial %d: intersectBlocked = %d, oracle %d\na=%v\nb=%v",
+					s, trial, got, want, a, b)
+			}
+			if got := intersectBlocked(b, a); got != want {
+				t.Fatalf("shape %+v trial %d: swapped = %d, oracle %d", s, trial, got, want)
+			}
+		}
+	}
+	// Disjoint ranges: the pure block-skip path.
+	a := make(IDs, 300)
+	b := make(IDs, 300)
+	for i := range a {
+		a[i] = uint32(i)
+		b[i] = uint32(i + 1000)
+	}
+	if got := intersectBlocked(a, b); got != 0 {
+		t.Fatalf("disjoint ranges: %d", got)
+	}
+	if got := intersectBlocked(b, a); got != 0 {
+		t.Fatalf("disjoint ranges swapped: %d", got)
+	}
+}
+
+// TestGBDOf pins the exported composed form against the internal one.
+func TestGBDOf(t *testing.T) {
+	cases := []struct{ la, lb, inter, want int }{
+		{5, 3, 2, 3}, {3, 5, 2, 3}, {0, 0, 0, 0}, {7, 7, 7, 0},
+	}
+	for _, c := range cases {
+		if got := GBDOf(c.la, c.lb, c.inter); got != c.want {
+			t.Errorf("GBDOf(%d,%d,%d) = %d, want %d", c.la, c.lb, c.inter, got, c.want)
+		}
+	}
+}

@@ -78,6 +78,10 @@ type DictStats struct {
 	Retired int
 	// Compactions counts completed compaction passes.
 	Compactions uint64
+	// Universe is the exclusive upper bound of ever-assigned branch IDs —
+	// the bitset span a dense intersection over this dictionary needs.
+	// Monotonic (retired IDs are not reused).
+	Universe int
 }
 
 // Stats snapshots the lifecycle counters.
@@ -89,7 +93,18 @@ func (d *BranchDict) Stats() DictStats {
 		Dead:        d.dead,
 		Retired:     d.retired,
 		Compactions: d.compactions,
+		Universe:    int(d.next),
 	}
+}
+
+// Universe reports the exclusive upper bound of assigned branch IDs —
+// every stored multiset's IDs lie below it (ephemeral query IDs live at
+// EphemeralBranchBase and above). The branch layer's density dispatch
+// compares it against branch.DenseSpanLimit.
+func (d *BranchDict) Universe() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int(d.next)
 }
 
 // Lookup returns the ID for k without interning.

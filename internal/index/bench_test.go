@@ -1,9 +1,13 @@
 package index
 
 import (
+	"math/rand"
 	"testing"
 
+	"gsim/internal/branch"
 	"gsim/internal/dataset"
+	"gsim/internal/db"
+	"gsim/internal/graph"
 )
 
 func benchDataset(b *testing.B) *dataset.Dataset {
@@ -21,6 +25,7 @@ func benchDataset(b *testing.B) *dataset.Dataset {
 
 func BenchmarkBuild(b *testing.B) {
 	ds := benchDataset(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Build(ds.Col.Entries())
@@ -33,6 +38,7 @@ func BenchmarkPruningScan(b *testing.B) {
 	q := ds.Queries[0]
 	qs := ix.Summary(q)
 	qb := ds.Col.Entry(q).Branches
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = ix.Pruning(qs, qb, 5)
@@ -44,8 +50,45 @@ func BenchmarkLowerBoundPair(b *testing.B) {
 	ix := Build(ds.Col.Entries())
 	qs := ix.Summary(0)
 	qb := ds.Col.Entry(0).Branches
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = ix.LowerBound(qs, qb, 1+i%(ix.Len()-1))
+	}
+}
+
+// BenchmarkPrefilterScan is the CI-gated columnar hot loop: one prepared
+// query evaluated against 10k stored entries through Flat.Prunable —
+// signature word first, arena fallback only when undecided. Zero
+// allocations per scan is part of the gate.
+func BenchmarkPrefilterScan(b *testing.B) {
+	dict := graph.NewLabels()
+	rng := rand.New(rand.NewSource(7))
+	col := db.New("bench")
+	const n = 10000
+	for i := 0; i < n; i++ {
+		col.Add(randomGraph(rng, dict, 6+rng.Intn(20)))
+	}
+	entries := col.Entries()
+	st := NewStore(len(entries))
+	for _, e := range entries {
+		st.Append(Summarize(e.G))
+	}
+	f := FlattenViews([]View{st.View()})
+	qg := randomGraph(rng, dict, 12)
+	qp := PrepareQuery(qg)
+	qids := col.BranchDict().ResolveMultiset(branch.MultisetOf(qg))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pruned := 0
+		for pos, e := range entries {
+			if f.Prunable(&qp, qids, e, pos, 4) {
+				pruned++
+			}
+		}
+		if pruned == 0 {
+			b.Fatal("nothing pruned: benchmark would measure the wrong path")
+		}
 	}
 }

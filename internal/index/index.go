@@ -27,7 +27,7 @@ package index
 
 import (
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"gsim/internal/branch"
@@ -49,12 +49,14 @@ func Summarize(g *graph.Graph) Summary {
 	for v := 0; v < s.V; v++ {
 		s.VLabels[v] = g.VertexLabel(v)
 	}
-	sort.Slice(s.VLabels, func(i, j int) bool { return s.VLabels[i] < s.VLabels[j] })
+	// slices.Sort, not sort.Slice: this runs once per stored graph on the
+	// ingest path, and the closure-based form allocates per call.
+	slices.Sort(s.VLabels)
 	s.ELabels = make([]graph.ID, 0, s.E)
 	for _, e := range g.Edges() {
 		s.ELabels = append(s.ELabels, e.Label)
 	}
-	sort.Slice(s.ELabels, func(i, j int) bool { return s.ELabels[i] < s.ELabels[j] })
+	slices.Sort(s.ELabels)
 	return s
 }
 

@@ -30,10 +30,20 @@ func init() {
 // steady state: the posterior comes from a precomputed (v, ϕ) table and
 // the branch distance from an integer merge of interned multisets.
 type gbdaScorer struct {
-	variant ID
-	table   *lazyTable
-	opt     Options
-	batch   []*Query // workload of an entry-major scan; see PrepareBatch
+	variant  ID
+	table    *lazyTable
+	opt      Options
+	universe int      // branch dictionary ID bound captured at Prepare
+	batch    []*Query // workload of an entry-major scan; see PrepareBatch
+
+	// Bitset fast path for dense dictionaries (universe ≤
+	// branch.DenseSpanLimit): each query's multiset precomputed in Dense
+	// form once per batch, each entry's built once per ScoreEntry from a
+	// pooled scratch and intersected by word-AND/popcount against every
+	// applicable query. nil when the dictionary is too sparse or the
+	// batch too small to amortise the builds.
+	qdense []branch.Dense
+	dwords int // words per Dense side at this universe
 }
 
 // preparePosterior validates the offline artifacts and builds the shared
@@ -88,6 +98,7 @@ func (g *gbdaScorer) Prepare(d *DB, opt Options) error {
 		s.Weight = opt.V2Weight
 	}
 	g.table, g.opt = newLazyTable(d, s, opt), opt
+	g.universe = d.BranchIDUniverse()
 	return nil
 }
 
@@ -98,34 +109,72 @@ func (g *gbdaScorer) Score(q *Query, e *db.Entry) (bool, float64, error) {
 }
 
 func (g *gbdaScorer) score(q *Query, e *db.Entry) (bool, float64) {
+	return g.scoreInter(q, e, branch.IntersectSizeIDs(q.Branches, e.Branches))
+}
+
+// scoreInter applies the posterior model to a precomputed intersection
+// size — the only quantity both GBD (Definition 4) and VGBD (Eq. 26)
+// consume — so the merge and bitset kernels share one scoring tail.
+func (g *gbdaScorer) scoreInter(q *Query, e *db.Entry, inter int) (bool, float64) {
 	vmax := maxInt(q.G.NumVertices(), e.G.NumVertices())
 	t := g.table.get()
 	var post float64
 	if g.variant == GBDAV2 {
-		inter := branch.IntersectSizeIDs(q.Branches, e.Branches)
 		post = t.PosteriorVGBD(vmax, inter, g.opt.V2Weight)
 	} else {
-		phi := branch.GBDIDs(q.Branches, e.Branches)
-		post = t.Posterior(vmax, phi)
+		post = t.Posterior(vmax, branch.GBDOf(len(q.Branches), len(e.Branches), inter))
 	}
 	return g.opt.CollectAll || post >= g.opt.Gamma, post
 }
 
+// densePool recycles the per-entry bitset scratch across ScoreEntry
+// calls, which run concurrently on scan workers.
+var densePool = sync.Pool{New: func() any { return new(branch.Dense) }}
+
 // PrepareBatch captures the workload for entry-major scans and warms the
-// posterior table while no scan worker is waiting.
+// posterior table while no scan worker is waiting. On dense dictionaries
+// (every stored branch ID below branch.DenseSpanLimit) with at least two
+// queries it also precomputes each query's bitset form: one entry-side
+// build then amortises across the whole query batch, turning each
+// intersection into word-ANDs. Ephemeral query branch IDs sit at 2³¹ and
+// land in the Dense overflow list, where they match nothing stored.
 func (g *gbdaScorer) PrepareBatch(queries []*Query) error {
 	g.batch = queries
+	g.qdense, g.dwords = nil, 0
+	if g.universe > 0 && g.universe <= branch.DenseSpanLimit && len(queries) >= 2 {
+		g.dwords = branch.DenseWords(g.universe)
+		g.qdense = make([]branch.Dense, len(queries))
+		for k, q := range queries {
+			g.qdense[k].Fill(q.Branches, g.universe)
+		}
+	}
 	g.table.get()
 	return nil
+}
+
+// useDense picks the kernel for one (query, entry) pair: bitset when the
+// sides are balanced and long enough to pay for the word sweep, the
+// merge/gallop dispatcher otherwise (a heavily skewed pair gallops in
+// fewer operations than the fixed word-AND over the whole universe).
+func (g *gbdaScorer) useDense(q *Query, e *db.Entry) bool {
+	lq, le := len(q.Branches), len(e.Branches)
+	small, big := lq, le
+	if small > big {
+		small, big = big, small
+	}
+	return small*branch.GallopRatio > big && lq+le >= g.dwords
 }
 
 // ScoreEntry scores one entry against every prepared query: the entry's
 // representation (its precomputed branch multiset, kept hot in cache
 // across the whole workload) is visited once per batch, so the
 // decomposition counter fires once per entry — not once per pair as in
-// the query-major Score path.
+// the query-major Score path. On dense dictionaries the entry's bitset
+// form is built lazily — only if some pair actually dispatches dense —
+// and reused for every query in the batch.
 func (g *gbdaScorer) ScoreEntry(e *db.Entry, out []Verdict) error {
 	counted := false
+	var ed *branch.Dense
 	for k, q := range g.batch {
 		if out[k].Skip {
 			continue
@@ -134,8 +183,21 @@ func (g *gbdaScorer) ScoreEntry(e *db.Entry, out []Verdict) error {
 			countEntryDecomp()
 			counted = true
 		}
-		keep, post := g.score(q, e)
+		var keep bool
+		var post float64
+		if g.qdense != nil && g.useDense(q, e) {
+			if ed == nil {
+				ed = densePool.Get().(*branch.Dense)
+				ed.Fill(e.Branches, g.universe)
+			}
+			keep, post = g.scoreInter(q, e, branch.IntersectSizeDense(&g.qdense[k], ed))
+		} else {
+			keep, post = g.score(q, e)
+		}
 		out[k] = Verdict{Keep: keep, Score: post}
+	}
+	if ed != nil {
+		densePool.Put(ed)
 	}
 	return nil
 }

@@ -72,10 +72,24 @@ type DB struct {
 	// Sizes lists the distinct vertex counts of stored graphs, ascending —
 	// the sizes a posterior table prebuilds rows for at Prepare time.
 	Sizes func() []int
+	// BranchUniverse reports the branch dictionary's assigned-ID upper
+	// bound (db.BranchDict.Universe); nil when the caller has no
+	// dictionary. Scorers compare it against branch.DenseSpanLimit to
+	// decide whether bitset intersection is worth precomputing.
+	BranchUniverse func() int
 	// Offline artifacts; WS == nil before BuildPriors.
 	WS       *core.Workspace
 	GBDPrior *core.GBDPrior
 	TauMax   int
+}
+
+// BranchIDUniverse reports the dictionary's ID upper bound, 0 when
+// unknown.
+func (d *DB) BranchIDUniverse() int {
+	if d.BranchUniverse == nil {
+		return 0
+	}
+	return d.BranchUniverse()
 }
 
 // HasPriors reports whether the offline stage has run.

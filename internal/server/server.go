@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"gsim"
+	"gsim/internal/branch"
 	"gsim/internal/qcache"
 )
 
@@ -152,12 +153,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // statsResponse is the /v1/stats body.
 type statsResponse struct {
-	Database dbStats      `json:"database"`
-	Priors   priorStats   `json:"priors"`
-	Model    modelStats   `json:"model"`
-	Epoch    uint64       `json:"epoch"`
-	Cache    cacheStats   `json:"cache"`
-	Server   serverCounts `json:"server"`
+	Database  dbStats        `json:"database"`
+	Priors    priorStats     `json:"priors"`
+	Model     modelStats     `json:"model"`
+	Prefilter prefilterStats `json:"prefilter"`
+	Epoch     uint64         `json:"epoch"`
+	Cache     cacheStats     `json:"cache"`
+	Server    serverCounts   `json:"server"`
 }
 
 // modelStats surfaces the steady-state hot-path artifacts: the posterior
@@ -172,6 +174,34 @@ type modelStats struct {
 	BranchDictDead        int    `json:"branch_dict_dead"`
 	BranchDictRetired     int    `json:"branch_dict_retired"`
 	BranchDictCompactions uint64 `json:"branch_dict_compactions"`
+	BranchDictUniverse    int    `json:"branch_dict_universe"`
+}
+
+// prefilterStats surfaces the columnar prefilter's memory footprint
+// (zeros until a prefiltered search activates the per-shard stores):
+//
+//   - entries: graphs currently covered by the prefilter;
+//   - sig_bytes / meta_bytes / arena_bytes: the three columns — 8-byte
+//     signature words, 12-byte span locators, and the shared label-span
+//     arena (delta+run varint encoded);
+//   - dead_arena_bytes: arena space owned by deleted/updated entries,
+//     reclaimed when per-shard compaction next runs;
+//   - legacy_equiv_bytes: what the former slice-of-slices Summary layout
+//     would spend on the same entries — the denominator of the memory-
+//     reduction claim;
+//   - arena_compactions: completed per-shard arena compaction passes;
+//   - bitset_span_words: per-side 64-bit words a dense branch-bitset
+//     intersection needs at the current dictionary universe, 0 when the
+//     dictionary is too sparse for the bitset kernel.
+type prefilterStats struct {
+	Entries          int    `json:"entries"`
+	SigBytes         int64  `json:"sig_bytes"`
+	MetaBytes        int64  `json:"meta_bytes"`
+	ArenaBytes       int64  `json:"arena_bytes"`
+	DeadArenaBytes   int64  `json:"dead_arena_bytes"`
+	LegacyEquivBytes int64  `json:"legacy_equiv_bytes"`
+	ArenaCompactions uint64 `json:"arena_compactions"`
+	BitsetSpanWords  int    `json:"bitset_span_words"`
 }
 
 type dbStats struct {
@@ -213,6 +243,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	cs := s.cache.Stats()
 	tables, tableBytes := s.db.PosteriorTableStats()
 	dict := s.db.BranchDictStats()
+	pre := s.db.PrefilterStats()
+	spanWords := 0
+	if dict.Universe > 0 && dict.Universe <= branch.DenseSpanLimit {
+		spanWords = branch.DenseWords(dict.Universe)
+	}
 	sizes := s.db.ShardSizes()
 	shardMin, shardMax := 0, 0
 	for i, n := range sizes {
@@ -245,6 +280,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			BranchDictDead:        dict.Dead,
 			BranchDictRetired:     dict.Retired,
 			BranchDictCompactions: dict.Compactions,
+			BranchDictUniverse:    dict.Universe,
+		},
+		Prefilter: prefilterStats{
+			Entries:          pre.Entries,
+			SigBytes:         pre.SigBytes,
+			MetaBytes:        pre.MetaBytes,
+			ArenaBytes:       pre.ArenaBytes,
+			DeadArenaBytes:   pre.DeadBytes,
+			LegacyEquivBytes: pre.LegacyBytes,
+			ArenaCompactions: pre.Compactions,
+			BitsetSpanWords:  spanWords,
 		},
 		Epoch: s.db.Epoch(),
 		Cache: cacheStats{

@@ -1,0 +1,8 @@
+//go:build race
+
+package server
+
+// Under the race detector graph construction is ~10× slower; the memory
+// ratio is per-entry and scale-free, so a smaller corpus checks the same
+// claim without dominating the -race job's runtime.
+const prefilterMemGraphs = 10000

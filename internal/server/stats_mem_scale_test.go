@@ -1,0 +1,7 @@
+//go:build !race
+
+package server
+
+// prefilterMemGraphs is the corpus size for the prefilter memory-ratio
+// test — the 100k scale the memory claim is stated at.
+const prefilterMemGraphs = 100000

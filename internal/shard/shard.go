@@ -89,9 +89,8 @@ type bucket struct {
 	mu      sync.RWMutex
 	entries []*db.Entry
 	slots   map[uint64]int // graph ID → position in entries
-	sums    []index.Summary
-	sumsOn  bool   // summaries maintained incrementally once true
-	epoch   uint64 // mutations on this shard; guarded by mu
+	pre     *index.Store   // columnar prefilter, maintained incrementally once non-nil
+	epoch   uint64         // mutations on this shard; guarded by mu
 	st      stats
 }
 
@@ -266,15 +265,18 @@ func (m *Map) intern(g *graph.Graph) branch.IDs {
 func (b *bucket) insert(e *db.Entry) {
 	b.entries = append(b.entries, e)
 	b.slots[e.ID] = len(b.entries) - 1
-	if b.sumsOn {
-		b.sums = append(b.sums, index.Summarize(e.G))
+	if b.pre != nil {
+		b.pre.Append(index.Summarize(e.G))
 	}
 	b.st.add(e.G)
 }
 
 // removeAt swap-removes the entry at slot, publishing fresh slices so
 // snapshots handed to in-flight scans are never mutated; the caller holds
-// b.mu and is responsible for stats, refcounts and epochs.
+// b.mu and is responsible for stats, refcounts and epochs. The prefilter
+// store mirrors the swap-remove (its mutations are copy-on-write for the
+// same snapshot reason) and compacts its arena once enough dead span
+// bytes accumulate.
 func (b *bucket) removeAt(slot int) {
 	n := len(b.entries)
 	victim := b.entries[slot]
@@ -286,13 +288,9 @@ func (b *bucket) removeAt(slot int) {
 	}
 	delete(b.slots, victim.ID)
 	b.entries = fresh
-	if b.sumsOn {
-		fs := make([]index.Summary, n-1)
-		copy(fs, b.sums[:n-1])
-		if slot != n-1 {
-			fs[slot] = b.sums[n-1]
-		}
-		b.sums = fs
+	if b.pre != nil {
+		b.pre.RemoveAt(slot)
+		b.pre.MaybeCompact()
 	}
 }
 
@@ -303,11 +301,9 @@ func (b *bucket) replaceAt(slot int, e *db.Entry) {
 	copy(fresh, b.entries)
 	fresh[slot] = e
 	b.entries = fresh
-	if b.sumsOn {
-		fs := make([]index.Summary, len(b.sums))
-		copy(fs, b.sums)
-		fs[slot] = index.Summarize(e.G)
-		b.sums = fs
+	if b.pre != nil {
+		b.pre.ReplaceAt(slot, index.Summarize(e.G))
+		b.pre.MaybeCompact()
 	}
 }
 
@@ -491,29 +487,33 @@ func (m *Map) Get(id uint64) (*db.Entry, bool) {
 	return b.entries[slot], true
 }
 
-// ensureSums activates incremental summary maintenance on b, building the
-// backlog in one parallel pass.
-func (b *bucket) ensureSums() {
+// ensurePre activates incremental prefilter maintenance on b, building
+// the backlog with one parallel summarise pass feeding the columnar
+// store.
+func (b *bucket) ensurePre() {
 	b.mu.RLock()
-	on := b.sumsOn
+	on := b.pre != nil
 	b.mu.RUnlock()
 	if on {
 		return
 	}
 	b.mu.Lock()
-	if !b.sumsOn {
-		b.sums = index.SummarizeAll(b.entries)
-		b.sumsOn = true
+	if b.pre == nil {
+		st := index.NewStore(len(b.entries))
+		for _, s := range index.SummarizeAll(b.entries) {
+			st.Append(s)
+		}
+		b.pre = st
 	}
 	b.mu.Unlock()
 }
 
 // View is one shard's contribution to a consistent cut: immutable slices
 // (never written after publication) plus the shard epoch they correspond
-// to. Sums is non-nil only when the cut was taken with summaries.
+// to. Pre is populated only when the cut was taken with the prefilter.
 type View struct {
 	Entries []*db.Entry
-	Sums    []index.Summary
+	Pre     index.View
 	Epoch   uint64
 }
 
@@ -521,17 +521,17 @@ type View struct {
 // slices plus the global epoch the cut corresponds to. The cut is
 // optimistic — snapshot all shards, then verify the global epoch did not
 // move — and falls back to locking every shard when mutations keep
-// winning the race. withSums activates and includes the per-shard
-// prefilter summaries.
-func (m *Map) Views(withSums bool) ([]View, uint64) {
-	if withSums {
+// winning the race. withPre activates and includes the per-shard columnar
+// prefilter.
+func (m *Map) Views(withPre bool) ([]View, uint64) {
+	if withPre {
 		for _, b := range m.shards {
-			b.ensureSums()
+			b.ensurePre()
 		}
 	}
 	for attempt := 0; attempt < cutRetries; attempt++ {
 		before := m.gepoch.Load()
-		views := m.snapshot(withSums)
+		views := m.snapshot(withPre)
 		if m.gepoch.Load() == before {
 			return views, before
 		}
@@ -542,7 +542,7 @@ func (m *Map) Views(withSums bool) ([]View, uint64) {
 	}
 	views := make([]View, len(m.shards))
 	for i, b := range m.shards {
-		views[i] = b.view(withSums)
+		views[i] = b.view(withPre)
 	}
 	epoch := m.gepoch.Load()
 	for _, b := range m.shards {
@@ -552,23 +552,38 @@ func (m *Map) Views(withSums bool) ([]View, uint64) {
 }
 
 // snapshot copies every shard's slice headers under its read lock.
-func (m *Map) snapshot(withSums bool) []View {
+func (m *Map) snapshot(withPre bool) []View {
 	views := make([]View, len(m.shards))
 	for i, b := range m.shards {
 		b.mu.RLock()
-		views[i] = b.view(withSums)
+		views[i] = b.view(withPre)
 		b.mu.RUnlock()
 	}
 	return views
 }
 
 // view builds b's View; the caller holds b.mu (read suffices).
-func (b *bucket) view(withSums bool) View {
+func (b *bucket) view(withPre bool) View {
 	v := View{Entries: b.entries, Epoch: b.epoch}
-	if withSums {
-		v.Sums = b.sums
+	if withPre && b.pre != nil {
+		v.Pre = b.pre.View()
 	}
 	return v
+}
+
+// PrefilterMem aggregates the per-shard columnar prefilter footprint.
+// Shards whose prefilter has not been activated contribute nothing.
+func (m *Map) PrefilterMem() index.MemStats {
+	var st index.MemStats
+	for _, b := range m.shards {
+		b.mu.RLock()
+		if b.pre != nil {
+			mem := b.pre.Mem()
+			st.Add(mem)
+		}
+		b.mu.RUnlock()
+	}
+	return st
 }
 
 // Ordered returns a consistent cut's entries sorted by ID — insertion

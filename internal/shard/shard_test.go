@@ -188,8 +188,8 @@ func TestStatsTrackMutations(t *testing.T) {
 }
 
 // TestViewsConsistentCut: a cut's entries and epoch agree, snapshots are
-// immune to later mutations, and the with-sums cut carries summaries
-// aligned slot for slot.
+// immune to later mutations, and the with-prefilter cut carries columnar
+// summaries aligned slot for slot.
 func TestViewsConsistentCut(t *testing.T) {
 	m := New("t", 3)
 	ids := fill(m, 40)
@@ -199,12 +199,12 @@ func TestViewsConsistentCut(t *testing.T) {
 	}
 	n := 0
 	for s, v := range views {
-		if len(v.Sums) != len(v.Entries) {
-			t.Fatalf("shard %d: %d sums for %d entries", s, len(v.Sums), len(v.Entries))
+		if v.Pre.Len() != len(v.Entries) {
+			t.Fatalf("shard %d: %d prefilter slots for %d entries", s, v.Pre.Len(), len(v.Entries))
 		}
 		for i, e := range v.Entries {
 			want := index.Summarize(e.G)
-			if v.Sums[i].V != want.V || v.Sums[i].E != want.E {
+			if got := v.Pre.SummaryOf(i); got.V != want.V || got.E != want.E {
 				t.Fatalf("shard %d slot %d: summary mismatch", s, i)
 			}
 		}
@@ -235,27 +235,31 @@ func TestViewsConsistentCut(t *testing.T) {
 	}
 }
 
-// TestIncrementalSums: after the first with-sums cut, inserts, deletes
-// and updates keep the per-shard summaries aligned with the entries.
+// TestIncrementalSums: after the first with-prefilter cut, inserts,
+// deletes and updates keep the per-shard columnar store aligned with the
+// entries, slot for slot and label for label.
 func TestIncrementalSums(t *testing.T) {
 	m := New("t", 2)
 	ids := fill(m, 20)
-	m.Views(true) // activates summary maintenance
+	m.Views(true) // activates prefilter maintenance
 	m.Delete(ids[4])
 	m.Update(ids[5], chain(m.Dict(), "upd", 11, "Q"))
 	fill(m, 5)
 	views, _ := m.Views(true)
 	for s, v := range views {
-		if len(v.Sums) != len(v.Entries) {
-			t.Fatalf("shard %d: sums misaligned", s)
+		if v.Pre.Len() != len(v.Entries) {
+			t.Fatalf("shard %d: prefilter misaligned", s)
 		}
 		for i, e := range v.Entries {
 			want := index.Summarize(e.G)
-			got := v.Sums[i]
+			got := v.Pre.SummaryOf(i)
 			if got.V != want.V || got.E != want.E || len(got.VLabels) != len(want.VLabels) {
 				t.Fatalf("shard %d slot %d (graph %s): stale summary", s, i, e.G.Name)
 			}
 		}
+	}
+	if mem := m.PrefilterMem(); mem.Entries != m.Len() {
+		t.Fatalf("PrefilterMem entries %d, store %d", mem.Entries, m.Len())
 	}
 }
 
@@ -418,8 +422,8 @@ func TestConcurrentMutations(t *testing.T) {
 			}
 			last = epoch
 			for _, v := range views {
-				if len(v.Sums) != len(v.Entries) {
-					t.Error("torn cut: sums misaligned")
+				if v.Pre.Len() != len(v.Entries) {
+					t.Error("torn cut: prefilter misaligned")
 					return
 				}
 			}

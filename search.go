@@ -228,11 +228,11 @@ type preparedSearch struct {
 	opt     SearchOptions
 	info    method.Info
 	scorer  method.Scorer
-	entries []*db.Entry     // the scan set: one flat slice over the cut
-	sums    []index.Summary // aligned prefilter summaries; nil without Prefilter
-	byPos   bool            // active subset: output order is flat position, not graph ID
-	bdict   *db.BranchDict  // branch dictionary queries resolve against (IDs are never reused, so resolving after prepare can only miss deleted entries, never mis-match)
-	epoch   uint64          // database epoch the cut corresponds to
+	entries []*db.Entry    // the scan set: one flat slice over the cut
+	pre     *index.Flat    // aligned columnar prefilter; nil without Prefilter
+	byPos   bool           // active subset: output order is flat position, not graph ID
+	bdict   *db.BranchDict // branch dictionary queries resolve against (IDs are never reused, so resolving after prepare can only miss deleted entries, never mis-match)
+	epoch   uint64         // database epoch the cut corresponds to
 
 	orderedOnce sync.Once
 	orderedSet  []*db.Entry // scan set in output order; built on demand
@@ -277,15 +277,16 @@ func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 		epoch:   d.epoch + proj.epoch,
 	}
 	if opt.Prefilter {
-		ps.sums = proj.sums
+		ps.pre = proj.pre
 	}
 	mdb := &method.DB{
-		ActiveN:  len(ps.entries),
-		Ordered:  ps.ordered,
-		Sizes:    d.store.DistinctSizes,
-		WS:       d.ws,
-		GBDPrior: d.gbdPrior,
-		TauMax:   d.tauMax,
+		ActiveN:        len(ps.entries),
+		Ordered:        ps.ordered,
+		Sizes:          d.store.DistinctSizes,
+		BranchUniverse: ps.bdict.Universe,
+		WS:             d.ws,
+		GBDPrior:       d.gbdPrior,
+		TauMax:         d.tauMax,
 	}
 	if err := scorer.Prepare(mdb, opt.methodOptions()); err != nil {
 		return nil, err
@@ -297,13 +298,13 @@ func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 // store, memoised per store epoch: the flattening costs one pointer pass
 // over the cut (the pre-shard code paid the same O(n) on every prepare),
 // so searches between mutations reuse it and prepare in O(1). A cached
-// projection built with summaries also serves non-prefiltered searches
-// (they never read sums); the reverse rebuilds. The caller must hold
-// d.mu (read suffices); apMu serialises rebuilds against each other.
-func (d *Database) projection(withSums bool) *projection {
+// projection built with the prefilter also serves non-prefiltered
+// searches (they never read it); the reverse rebuilds. The caller must
+// hold d.mu (read suffices); apMu serialises rebuilds against each other.
+func (d *Database) projection(withPre bool) *projection {
 	d.apMu.Lock()
 	defer d.apMu.Unlock()
-	if p := d.proj; p != nil && p.store == d.store && p.epoch == d.store.Epoch() && (p.withSums || !withSums) {
+	if p := d.proj; p != nil && p.store == d.store && p.epoch == d.store.Epoch() && (p.withPre || !withPre) {
 		// Same store and equal epoch means no shard mutated since the
 		// cached cut was taken, so its slices are the current state. The
 		// store identity check matters: LoadBinary installs a fresh Map
@@ -311,8 +312,15 @@ func (d *Database) projection(withSums bool) *projection {
 		// mistake for the cached cut.
 		return p
 	}
-	views, epoch := d.store.Views(withSums)
-	p := &projection{store: d.store, epoch: epoch, withSums: withSums}
+	views, epoch := d.store.Views(withPre)
+	p := &projection{store: d.store, epoch: epoch, withPre: withPre}
+	var pviews []index.View
+	if withPre {
+		pviews = make([]index.View, len(views))
+		for i, v := range views {
+			pviews[i] = v.Pre
+		}
+	}
 	if d.active == nil {
 		n := 0
 		for _, v := range views {
@@ -322,11 +330,10 @@ func (d *Database) projection(withSums bool) *projection {
 		for _, v := range views {
 			p.entries = append(p.entries, v.Entries...)
 		}
-		if withSums {
-			p.sums = make([]index.Summary, 0, n)
-			for _, v := range views {
-				p.sums = append(p.sums, v.Sums...)
-			}
+		if withPre {
+			// Flattening every view slot in shard order matches the
+			// entry concatenation above position for position.
+			p.pre = index.FlattenViews(pviews)
 		}
 	} else {
 		// Pick active IDs in list order, so the flat position is the
@@ -339,8 +346,9 @@ func (d *Database) projection(withSums bool) *projection {
 			}
 		}
 		p.entries = make([]*db.Entry, 0, len(d.active))
-		if withSums {
-			p.sums = make([]index.Summary, 0, len(d.active))
+		var fb *index.FlatBuilder
+		if withPre {
+			fb = index.NewFlatBuilder(pviews, len(d.active))
 		}
 		for _, id := range d.active {
 			l, ok := where[uint64(id)]
@@ -348,9 +356,12 @@ func (d *Database) projection(withSums bool) *projection {
 				continue
 			}
 			p.entries = append(p.entries, views[l.part].Entries[l.slot])
-			if withSums {
-				p.sums = append(p.sums, views[l.part].Sums[l.slot])
+			if withPre {
+				fb.Add(l.part, l.slot)
 			}
+		}
+		if withPre {
+			p.pre = fb.Done()
 		}
 	}
 	d.proj = p
@@ -383,13 +394,13 @@ func (ps *preparedSearch) stream(ctx context.Context, q *Query, emit func(pos in
 	// the key semantics.
 	qids := ps.bdict.ResolveMultiset(q.branches)
 	mq := &method.Query{G: q.g, Branches: qids}
-	var qs index.Summary
+	var qp index.QueryPre
 	if ps.opt.Prefilter {
-		qs = index.Summarize(q.g)
+		qp = index.PrepareQuery(q.g)
 	}
 	process := func(pos int) (Match, bool, error) {
 		e := ps.entries[pos]
-		if ps.opt.Prefilter && index.PairPrunable(qs, qids, ps.sums[pos], e, ps.opt.Tau) {
+		if ps.opt.Prefilter && ps.pre.Prunable(&qp, qids, e, pos, ps.opt.Tau) {
 			return Match{}, false, nil
 		}
 		keep, score, err := ps.scorer.Score(mq, e)
