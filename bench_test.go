@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -181,11 +182,25 @@ func BenchmarkSearchBatch(b *testing.B) {
 // (on a single-core runner the two coincide — GOMAXPROCS shards is one).
 func BenchmarkShardedIngest(b *testing.B) {
 	for _, tc := range []struct {
-		name   string
-		shards int
-	}{{"shards=1", 1}, {"shards=max", 0}} {
+		name    string
+		shards  int
+		durable bool
+	}{{"shards=1", 1, false}, {"shards=max", 0, false}, {"shards=max+wal", 0, true}} {
 		b.Run(tc.name, func(b *testing.B) {
-			d := gsim.NewDatabaseShards("ingest", tc.shards)
+			var d *gsim.Database
+			if tc.durable {
+				// The WAL-enabled gate: group commit under FsyncInterval must
+				// not serialise sharded ingest — journaling happens inside the
+				// owning shard's critical section, syncing outside every lock.
+				var err error
+				d, err = gsim.Open(b.TempDir(), gsim.WithShards(tc.shards),
+					gsim.WithFsyncPolicy(gsim.FsyncInterval), gsim.WithAutoCheckpoint(0))
+				if err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				d = gsim.New(gsim.WithName("ingest"), gsim.WithShards(tc.shards))
+			}
 			var seq atomic.Int64
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -206,8 +221,79 @@ func BenchmarkShardedIngest(b *testing.B) {
 					}
 				}
 			})
+			if tc.durable {
+				b.StopTimer()
+				if err := d.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
+}
+
+// BenchmarkRecovery measures a full 100k-graph restart: the segmented
+// path (gsim.Open — parallel segment decode, parallel branch-multiset
+// interning, bulk per-shard install) against the legacy single-file path
+// (LoadBinary — one gob stream decoded and re-interned sequentially).
+// Both gate in CI; their ratio is the recovery win the per-shard segment
+// layout exists for. The fixture is built once per run with the WAL off
+// (bulk load) and closed, so each Open is a pure cold-start recovery.
+func BenchmarkRecovery(b *testing.B) {
+	const n = 100_000
+	base := b.TempDir()
+	dir := filepath.Join(base, "data")
+	d, err := gsim.Open(dir, gsim.WithoutWAL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		g := d.NewGraph(fmt.Sprintf("g%d", i))
+		for v := 0; v < 6; v++ {
+			g.AddVertex(fmt.Sprintf("L%d", (i+v)%7))
+		}
+		for v := 0; v+1 < 6; v++ {
+			if err := g.AddEdge(v, v+1, "e"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := g.Store(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var legacy bytes.Buffer
+	if err := d.SaveBinary(&legacy); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("segments", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// WithoutWAL keeps the reopen read-only apart from the manifest
+			// bump, so iterations do not grow the directory.
+			r, err := gsim.Open(dir, gsim.WithoutWAL())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Len() != n {
+				b.Fatalf("recovered %d graphs, want %d", r.Len(), n)
+			}
+		}
+	})
+	b.Run("legacy-loadbinary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := gsim.New()
+			if err := r.LoadBinary(bytes.NewReader(legacy.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			if r.Len() != n {
+				b.Fatalf("loaded %d graphs, want %d", r.Len(), n)
+			}
+		}
+	})
 }
 
 // BenchmarkServerSearch measures one /v1/search request through the HTTP

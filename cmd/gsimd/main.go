@@ -5,15 +5,27 @@
 //
 // Usage:
 //
-//	gsimd -db molecules.gsim -build-priors -addr :8764
-//	gsimd -db snapshot.bin -binary -priors priors.gob -cache 4096
+//	gsimd -data /var/lib/gsim -addr :8764          # durable database
+//	gsimd -data /var/lib/gsim -db molecules.gsim   # one-time import
+//	gsimd -db molecules.gsim -build-priors         # in-memory (legacy)
 //	gsimd -addr :8764                  # start empty, fill via /v1/graphs
 //
-// The dataset preloads from -db (.gsim text, or a binary snapshot with
-// -binary) into a store partitioned over -shards shards (default
-// GOMAXPROCS) — concurrent ingest, DELETE /v1/graphs/{id} and
-// update-by-re-POST commit per shard while searches scan consistent
-// snapshots. -priors restores offline priors saved by SavePriors, while
+// With -data the database is durable: per-shard write-ahead logs journal
+// every mutation (fsync discipline under -fsync: always, interval,
+// never), checkpoints write per-shard snapshot segments, and a restart
+// recovers by loading segments in parallel and replaying the logs. The
+// -db flag (with or without -binary — the format is sniffed) then acts
+// as a one-time import: it seeds the data directory on first boot and is
+// ignored once a manifest exists, so a legacy deployment migrates by
+// adding -data and keeping its old flags for one release. Without -data
+// the database is in-memory and -db preloads it on every boot (the
+// legacy behaviour, deprecated). POST /v1/admin/checkpoint forces a
+// snapshot; /v1/stats carries a "persistence" block.
+//
+// The store is partitioned over -shards shards (default GOMAXPROCS) —
+// concurrent ingest, DELETE /v1/graphs/{id} and update-by-re-POST commit
+// per shard while searches scan consistent snapshots.
+// -priors restores offline priors saved by SavePriors, while
 // -build-priors fits them at startup (-tau-max, -pairs) — the two are
 // mutually exclusive; -warm τ̂ additionally pre-builds the posterior
 // lookup table for the expected query threshold so the first request
@@ -53,6 +65,8 @@ import (
 // config collects the flag values; split from main so the smoke test can
 // assemble a server without a process.
 type config struct {
+	dataDir     string
+	fsync       string
 	dbPath      string
 	binary      bool
 	priorsPath  string
@@ -63,6 +77,7 @@ type config struct {
 	method      string
 	workers     int
 	shards      int
+	shardsSet   bool
 	warmTau     int
 }
 
@@ -71,46 +86,85 @@ func load(cfg config) (*server.Server, *gsim.Database, error) {
 	if cfg.priorsPath != "" && cfg.buildPriors {
 		return nil, nil, fmt.Errorf("-priors and -build-priors are mutually exclusive; restore a snapshot or fit fresh, not both")
 	}
-	name := cfg.dbPath
-	if name == "" {
-		name = "gsimd"
-	}
-	d := gsim.NewDatabaseShards(name, cfg.shards)
-	if cfg.dbPath != "" {
-		f, err := os.Open(cfg.dbPath)
-		if err != nil {
+	var d *gsim.Database
+	if cfg.dataDir != "" {
+		opts := []gsim.Option{}
+		if cfg.shardsSet {
+			opts = append(opts, gsim.WithShards(cfg.shards))
+		}
+		if cfg.fsync != "" {
+			p, err := gsim.ParseFsyncPolicy(cfg.fsync)
+			if err != nil {
+				return nil, nil, fmt.Errorf("-fsync: %w", err)
+			}
+			opts = append(opts, gsim.WithFsyncPolicy(p))
+		}
+		if cfg.dbPath != "" {
+			// Legacy import path: consulted only while the directory has no
+			// manifest, so keeping the flag across restarts is harmless.
+			log.Printf("gsimd: -db with -data imports %s once; the data directory owns the contents afterwards", cfg.dbPath)
+			opts = append(opts, gsim.WithImport(cfg.dbPath))
+		}
+		var err error
+		if d, err = gsim.Open(cfg.dataDir, opts...); err != nil {
 			return nil, nil, err
 		}
-		if cfg.binary {
-			err = d.LoadBinary(f)
-		} else {
-			_, err = d.LoadText(f)
+	} else {
+		name := cfg.dbPath
+		if name == "" {
+			name = "gsimd"
 		}
-		f.Close()
-		if err != nil {
-			return nil, nil, fmt.Errorf("loading %s: %w", cfg.dbPath, err)
+		if cfg.dbPath != "" {
+			log.Printf("gsimd: -db without -data is deprecated: contents are in-memory and reload on every boot; add -data <dir> for durability")
+		}
+		d = gsim.New(gsim.WithName(name), gsim.WithShards(cfg.shards))
+		if cfg.dbPath != "" {
+			f, err := os.Open(cfg.dbPath)
+			if err != nil {
+				return nil, nil, err
+			}
+			if cfg.binary {
+				err = d.LoadBinary(f)
+			} else {
+				_, err = d.LoadText(f)
+			}
+			f.Close()
+			if err != nil {
+				return nil, nil, fmt.Errorf("loading %s: %w", cfg.dbPath, err)
+			}
 		}
 	}
+	srv, err := finishLoad(cfg, d)
+	if err != nil {
+		d.Close()
+		return nil, nil, err
+	}
+	return srv, d, nil
+}
+
+// finishLoad runs the post-construction steps (priors, warmup, server
+// assembly) so load can release a durable database on any failure.
+func finishLoad(cfg config, d *gsim.Database) (*server.Server, error) {
 	if cfg.priorsPath != "" {
 		f, err := os.Open(cfg.priorsPath)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		err = d.LoadPriors(f)
 		f.Close()
 		if err != nil {
-			return nil, nil, fmt.Errorf("loading priors %s: %w", cfg.priorsPath, err)
+			return nil, fmt.Errorf("loading priors %s: %w", cfg.priorsPath, err)
 		}
 	} else if cfg.buildPriors {
 		if err := d.BuildPriors(gsim.OfflineConfig{TauMax: cfg.tauMax, SamplePairs: cfg.pairs}); err != nil {
-			return nil, nil, fmt.Errorf("building priors: %w", err)
+			return nil, fmt.Errorf("building priors: %w", err)
 		}
 	}
 	m := gsim.Method(0)
 	if cfg.method != "" {
 		var err error
 		if m, err = gsim.ParseMethod(cfg.method); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	if cfg.warmTau != 0 {
@@ -118,7 +172,7 @@ func load(cfg config) (*server.Server, *gsim.Database, error) {
 		// so the first request after boot runs the steady-state two-table
 		// path instead of paying the cold build.
 		if err := d.WarmPosteriorTables(cfg.warmTau); err != nil {
-			return nil, nil, fmt.Errorf("-warm %d: %w", cfg.warmTau, err)
+			return nil, fmt.Errorf("-warm %d: %w", cfg.warmTau, err)
 		}
 	}
 	srv := server.New(server.Config{
@@ -127,7 +181,7 @@ func load(cfg config) (*server.Server, *gsim.Database, error) {
 		DefaultMethod: m,
 		Workers:       cfg.workers,
 	})
-	return srv, d, nil
+	return srv, nil
 }
 
 // pprofHandler exposes the net/http/pprof endpoints on a private mux, so
@@ -151,8 +205,10 @@ func main() {
 		cfg       config
 		methods   = "gbda"
 	)
-	flag.StringVar(&cfg.dbPath, "db", "", "path to a .gsim text database to preload (empty: start with no graphs)")
-	flag.BoolVar(&cfg.binary, "binary", false, "the -db file is a binary snapshot (see gbda -save-binary)")
+	flag.StringVar(&cfg.dataDir, "data", "", "durable data directory (WAL + snapshot segments); empty = in-memory")
+	flag.StringVar(&cfg.fsync, "fsync", "", "WAL fsync policy with -data: always (default), interval, never")
+	flag.StringVar(&cfg.dbPath, "db", "", "legacy snapshot to preload; with -data it is imported once, without it contents are in-memory (deprecated)")
+	flag.BoolVar(&cfg.binary, "binary", false, "the -db file is a binary snapshot (with -data the format is sniffed; the flag is advisory)")
 	flag.StringVar(&cfg.priorsPath, "priors", "", "path to priors saved by SavePriors (gob)")
 	flag.BoolVar(&cfg.buildPriors, "build-priors", false, "fit the offline GBDA priors at startup")
 	flag.IntVar(&cfg.tauMax, "tau-max", 10, "largest τ̂ the offline priors support (-build-priors)")
@@ -163,13 +219,18 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 0, "storage shards for the resident database (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.warmTau, "warm", 0, "pre-build the posterior table for this τ̂ at startup (0 = off; needs priors)")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			cfg.shardsSet = true
+		}
+	})
 
 	srv, d, err := load(cfg)
 	if err != nil {
 		log.Fatalf("gsimd: %v", err)
 	}
-	log.Printf("gsimd: serving %q (%d graphs, priors=%v, cache=%d) on %s",
-		d.Name(), d.Len(), d.HasPriors(), cfg.cacheSize, *addr)
+	log.Printf("gsimd: serving %q (%d graphs, priors=%v, cache=%d, durable=%v) on %s",
+		d.Name(), d.Len(), d.HasPriors(), cfg.cacheSize, cfg.dataDir != "", *addr)
 
 	if *pprofAddr != "" {
 		go func() {
@@ -187,6 +248,7 @@ func main() {
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
 	case err := <-errc:
+		d.Close()
 		log.Fatalf("gsimd: %v", err)
 	case <-ctx.Done():
 		stop()
@@ -195,6 +257,11 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("gsimd: shutdown: %v", err)
+		}
+		// Requests have drained: the final checkpoint compacts the data
+		// directory so the next boot recovers from segments alone.
+		if err := d.Close(); err != nil {
+			log.Printf("gsimd: close: %v", err)
 		}
 	}
 }

@@ -213,3 +213,77 @@ func TestWarmAndShards(t *testing.T) {
 		t.Fatal("-warm beyond the prior ceiling booted")
 	}
 }
+
+// TestDataDirLifecycle drives the -data path of load: first boot imports
+// the legacy -db file into the directory, a second boot recovers from
+// the directory alone (the import flag now being a no-op), and the admin
+// checkpoint endpoint is live.
+func TestDataDirLifecycle(t *testing.T) {
+	dbPath := writeTestDB(t)
+	dataDir := filepath.Join(t.TempDir(), "data")
+
+	srv, d, err := load(config{
+		dataDir: dataDir, dbPath: dbPath, method: "lsap", fsync: "always",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 12 {
+		t.Fatalf("imported %d graphs, want 12", d.Len())
+	}
+	ts := httptest.NewServer(srv.Handler())
+	resp, err := http.Post(ts.URL+"/v1/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d", resp.StatusCode)
+	}
+	ts.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second boot: the directory owns the contents; -db must not re-import
+	// (delete the legacy file to prove it is not consulted).
+	if err := os.Remove(dbPath); err != nil {
+		t.Fatal(err)
+	}
+	srv2, d2, err := load(config{dataDir: dataDir, dbPath: dbPath, method: "lsap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 12 {
+		t.Fatalf("recovered %d graphs, want 12", d2.Len())
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Persistence struct {
+			Durable bool   `json:"durable"`
+			Policy  string `json:"policy"`
+		} `json:"persistence"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.Persistence.Durable || st.Persistence.Policy != "always" {
+		t.Fatalf("persistence block %+v", st.Persistence)
+	}
+}
+
+// TestBadFsyncFlag: an unknown -fsync value fails loudly at boot.
+func TestBadFsyncFlag(t *testing.T) {
+	_, _, err := load(config{dataDir: t.TempDir(), fsync: "sometimes"})
+	if err == nil || !strings.Contains(err.Error(), "fsync") {
+		t.Fatalf("err = %v, want fsync parse failure", err)
+	}
+}

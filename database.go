@@ -46,8 +46,9 @@ type Database struct {
 	mu     sync.RWMutex
 	epoch  uint64 // db-level component: priors, snapshot swaps
 	store  *shard.Map
-	shardN int   // configured shard count, reused when loads rebuild the store
-	active []int // graph IDs scanned by Search; nil = all (immutable once set)
+	shardN int      // configured shard count, reused when loads rebuild the store
+	active []int    // graph IDs scanned by Search; nil = all (immutable once set)
+	dur    *durable // persistence state; nil for an in-memory database
 
 	tauMax   int
 	ws       *core.Workspace
@@ -88,30 +89,21 @@ func (d *Database) Epoch() uint64 {
 	return d.epoch + d.store.Epoch()
 }
 
-// NewDatabase creates an empty database with GOMAXPROCS storage shards.
-func NewDatabase(name string) *Database {
-	return NewDatabaseShards(name, 0)
-}
-
-// NewDatabaseShards creates an empty database with an explicit storage
-// shard count (n ≤ 0 selects GOMAXPROCS). One shard reproduces the
-// unsharded layout exactly — the equivalence tests rely on it.
-func NewDatabaseShards(name string, n int) *Database {
-	n = shard.Shards(n)
-	return &Database{store: shard.New(name, n), shardN: n}
-}
-
 // FromCollection wraps an existing internal collection — the bridge used by
 // the experiment harness and dataset generators, which assemble collections
 // directly. active lists the graph IDs Search scans (the "95% database" of
 // Section VII-A; a flat collection's IDs equal its indexes); nil scans
-// everything. External users build databases with NewDatabase/NewGraph
-// instead.
+// everything.
+//
+// Deprecated: external users build databases with New (or Open) and
+// NewGraph; this bridge remains for the experiment harness.
 func FromCollection(col *db.Collection, active []int) *Database {
 	return FromCollectionShards(col, active, 0)
 }
 
 // FromCollectionShards is FromCollection with an explicit shard count.
+//
+// Deprecated: see FromCollection.
 func FromCollectionShards(col *db.Collection, active []int, n int) *Database {
 	n = shard.Shards(n)
 	return &Database{store: shard.FromCollection(col, n), shardN: n, active: active}
@@ -193,7 +185,9 @@ func (d *Database) LoadText(r io.Reader) (int, error) {
 		batch[i] = shard.Mutation{G: g}
 	}
 	if len(batch) > 0 {
-		d.store.Commit(batch)
+		if _, _, _, err := d.store.Commit(batch); err != nil {
+			return 0, err
+		}
 	}
 	return len(gs), nil
 }
@@ -229,17 +223,38 @@ func (d *Database) SaveBinary(w io.Writer) error {
 // snapshot is re-sharded on load across the configured shard count.
 // Searches already in flight finish against the contents they started
 // with; searches prepared after LoadBinary returns see only the snapshot.
+//
+// On a durable database the swap checkpoints immediately, while writes
+// are still excluded: the new contents hit segments and the manifest
+// before any mutation can journal against them, so a crash at any point
+// recovers either the old contents (LoadBinary unacknowledged) or the
+// new ones — never a mix.
 func (d *Database) LoadBinary(r io.Reader) error {
 	col, err := db.LoadBinary(r)
 	if err != nil {
 		return err
+	}
+	du := d.dur
+	if du != nil {
+		du.pmu.Lock()
+		defer du.pmu.Unlock()
+		if du.closed {
+			return ErrClosed
+		}
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	// Fold the replaced store's epoch into the db-level component so the
 	// combined Epoch() never moves backwards across the swap.
 	d.epoch += d.store.Epoch() + 1
-	d.store = shard.FromCollection(col, d.shardN)
+	store := shard.FromCollection(col, d.shardN)
+	if du != nil && du.ws != nil {
+		// Journal records encode against the new store's dictionary from
+		// here on; safe because d.mu excludes every mutation path.
+		du.ws.dict.Store(store.Dict())
+		store.SetJournal(du.ws)
+	}
+	d.store = store
 	d.active = nil
 	d.ws = nil
 	d.gbdPrior = nil
@@ -250,6 +265,11 @@ func (d *Database) LoadBinary(r io.Reader) error {
 	d.apMu.Lock()
 	d.proj = nil
 	d.apMu.Unlock()
+	if du != nil {
+		if _, err := du.checkpoint(store, d.epoch); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -262,7 +282,14 @@ func (d *Database) LoadBinary(r io.Reader) error {
 func (d *Database) Delete(id int) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if id < 0 || !d.store.Delete(uint64(id)) {
+	if id < 0 {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	ok, err := d.store.Delete(uint64(id))
+	if err != nil {
+		return err
+	}
+	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
 	return nil
@@ -389,7 +416,11 @@ func (b *GraphBuilder) Store() (int, error) {
 	if b.d.store != b.store {
 		return 0, fmt.Errorf("gsim: database contents replaced since NewGraph; rebuild the graph")
 	}
-	return int(b.d.store.Add(b.g)), nil
+	id, err := b.d.store.Add(b.g)
+	if err != nil {
+		return 0, err
+	}
+	return int(id), nil
 }
 
 // Update validates the graph and atomically replaces the stored graph
@@ -406,7 +437,14 @@ func (b *GraphBuilder) Update(id int) error {
 	if b.d.store != b.store {
 		return fmt.Errorf("gsim: database contents replaced since NewGraph; rebuild the graph")
 	}
-	if id < 0 || !b.d.store.Update(uint64(id), b.g) {
+	if id < 0 {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	ok, err := b.d.store.Update(uint64(id), b.g)
+	if err != nil {
+		return err
+	}
+	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
 	return nil
@@ -458,7 +496,10 @@ func (d *Database) CommitAll(muts []BuilderMutation) ([]int, error) {
 	if len(batch) == 0 {
 		return ids, nil
 	}
-	first, missing, ok := d.store.Commit(batch)
+	first, missing, ok, err := d.store.Commit(batch)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNotFound, missing)
 	}

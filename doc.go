@@ -101,9 +101,56 @@
 // early, never a spurious match. The
 // global epoch derives from the shard epochs (one advance per mutation
 // batch), so a result computed at epoch E is cacheable exactly while
-// Epoch() == E — unchanged qcache semantics. Persistence writes one
-// logical collection in ID order; snapshots are interchangeable across
-// shard counts and with pre-shard files, re-sharded on load.
+// Epoch() == E — unchanged qcache semantics. Legacy persistence
+// (SaveBinary/SaveText) writes one logical collection in ID order;
+// snapshots are interchangeable across shard counts and with pre-shard
+// files, re-sharded on load.
+//
+// # The durability layer
+//
+// Open(dir) turns the sharded store durable; New() keeps it in-memory.
+// The data directory holds three kinds of files, tied by a manifest:
+// per-shard append-only write-ahead logs (wal-<shard>-<gen>.log),
+// per-shard snapshot segments (seg-<shard>-<gen>.bin), and MANIFEST,
+// which names the database epoch, shard count, label dictionary, the
+// segment list and the first log generation the segments do not cover.
+//
+// Every Store/Update/Delete journals a record to its owning shard's log
+// inside that shard's critical section — log order is apply order, and
+// shards never contend on each other's logs, so journaling scales with
+// the shard count exactly like the in-memory commit path. Durability
+// waits happen outside every lock under a group-commit protocol: under
+// FsyncAlways (the default) concurrent committers share fsyncs via
+// leader election, so an acknowledged mutation survives kill -9 while
+// sharded ingest stays parallel; FsyncInterval bounds loss to a
+// background sync cadence; FsyncNever leaves flushing to the OS.
+// Records carry label names, not dictionary IDs, so replay is
+// independent of dictionary state.
+//
+// A checkpoint — explicit (Checkpoint, POST /v1/admin/checkpoint),
+// automatic (WithAutoCheckpoint's WAL-size threshold), or the final one
+// in Close — cuts each shard's entries while rotating its log to the
+// next generation inside the same critical section, writes and fsyncs
+// the segments in parallel, atomically replaces the manifest
+// (tmp + rename + directory fsync), and only then deletes the
+// superseded logs: recovery time and disk growth stay bounded, and
+// every crash window leaves a directory one manifest describes exactly.
+//
+// Recovery (Open on an existing directory) loads the segments in
+// parallel — a flat varint codec with a CRC-32C trailer, decoded
+// without reflection; branch multisets recomputed concurrently — then
+// replays each shard's log past its segment, tolerating a torn tail
+// (records are CRC-framed; an interrupted append is dropped, every
+// complete record before it survives) and failing loudly on structural
+// damage like a missing segment. If anything replayed or the shard
+// count changed (WithShards re-shards on open), the recovered state is
+// checkpointed immediately, so a clean Open always starts compact.
+// BenchmarkRecovery gates the segmented path against the legacy
+// single-file LoadBinary in CI.
+//
+// Legacy single-file snapshots migrate via WithImport (consulted only
+// until the first manifest lands) or by calling LoadBinary on an open
+// durable database, which swaps contents and checkpoints atomically.
 //
 // # Batch strategies
 //
@@ -167,7 +214,9 @@
 //
 // # Quick start
 //
-//	d := gsim.NewDatabase("demo")
+//	d, err := gsim.Open("/var/lib/gsim") // durable; gsim.New() for in-memory
+//	if err != nil { ... }
+//	defer d.Close()
 //	b := d.NewGraph("g0")
 //	v0 := b.AddVertex("C")
 //	v1 := b.AddVertex("O")
@@ -193,7 +242,7 @@
 // To serve the database over HTTP, run the gsimd command (see "Serving
 // over HTTP" in README.md):
 //
-//	gsimd -db molecules.gsim -build-priors -addr :8764
+//	gsimd -data /var/lib/gsim -build-priors -addr :8764
 //
 // See the examples directory for runnable programs and README.md for the
 // project overview.

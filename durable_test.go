@@ -1,0 +1,375 @@
+package gsim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// storeChain stores a small chain graph and returns its ID.
+func storeChain(t *testing.T, d *Database, name string, n int) int {
+	t.Helper()
+	b := d.NewGraph(name)
+	for v := 0; v < n; v++ {
+		b.AddVertex(fmt.Sprintf("L%d", v%3))
+	}
+	for v := 0; v+1 < n; v++ {
+		if err := b.AddEdge(v, v+1, "e"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := b.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// wantGraph asserts graph id exists with the given name and size.
+func wantGraph(t *testing.T, d *Database, id int, name string, n int) {
+	t.Helper()
+	q := d.Query(id)
+	if q.Name() != name || q.NumVertices() != n {
+		t.Fatalf("graph %d = %q/%d vertices, want %q/%d", id, q.Name(), q.NumVertices(), name, n)
+	}
+}
+
+// TestOpenFreshCloseReopen: the basic durable lifecycle — a fresh
+// directory, some mutations, a clean Close, and a reopen that sees
+// everything with identities preserved and the ID sequence continuing.
+func TestOpenFreshCloseReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, WithName("life"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, 8)
+	for i := range ids {
+		ids[i] = storeChain(t, d, fmt.Sprintf("g%d", i), 3+i%3)
+	}
+	if err := d.Delete(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	ub := d.NewGraph("g5-updated")
+	ub.AddVertex("Z")
+	ub.AddVertex("Z")
+	if err := ub.AddEdge(0, 1, "e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ub.Update(ids[5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Name() != "life" {
+		t.Fatalf("name %q, want %q (from manifest, not directory)", r.Name(), "life")
+	}
+	if r.Len() != 7 {
+		t.Fatalf("reopened Len = %d, want 7", r.Len())
+	}
+	for i, id := range ids {
+		switch i {
+		case 2:
+			if _, ok := r.store.Get(uint64(id)); ok {
+				t.Fatalf("deleted graph %d resurrected", id)
+			}
+		case 5:
+			wantGraph(t, r, id, "g5-updated", 2)
+		default:
+			wantGraph(t, r, id, fmt.Sprintf("g%d", i), 3+i%3)
+		}
+	}
+	// The ID sequence must not replay over recovered graphs.
+	fresh := storeChain(t, r, "after", 3)
+	for _, id := range ids {
+		if fresh == id {
+			t.Fatalf("new graph reused recovered ID %d", id)
+		}
+	}
+	wantGraph(t, r, fresh, "after", 3)
+}
+
+// TestRecoveryReplaysWAL: a database abandoned without Close (the crash
+// case: acknowledged mutations only in the WAL) recovers every
+// acknowledged mutation on reopen, and the reopen compacts — a third
+// open finds segments only.
+func TestRecoveryReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, WithAutoCheckpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, 10)
+	for i := range ids {
+		ids[i] = storeChain(t, d, fmt.Sprintf("w%d", i), 4)
+	}
+	if err := d.Delete(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the default FsyncAlways policy means everything above is
+	// already on disk in generation-1 logs; drop the handle cold.
+
+	r, err := Open(dir, WithAutoCheckpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 9 {
+		t.Fatalf("recovered Len = %d, want 9", r.Len())
+	}
+	for i, id := range ids {
+		if i == 3 {
+			continue
+		}
+		wantGraph(t, r, id, fmt.Sprintf("w%d", i), 4)
+	}
+	st := r.PersistStats()
+	if !st.Durable || !st.WAL {
+		t.Fatalf("PersistStats = %+v, want durable with WAL", st)
+	}
+	if st.Checkpoints == 0 {
+		t.Fatal("recovery with replayed records did not checkpoint")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third open: everything lives in segments now, nothing replays, and
+	// no checkpoint is needed (light path).
+	r2, err := Open(dir, WithAutoCheckpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 9 {
+		t.Fatalf("third open Len = %d, want 9", r2.Len())
+	}
+	if st := r2.PersistStats(); st.Checkpoints != 0 {
+		t.Fatalf("clean reopen checkpointed %d times, want light path", st.Checkpoints)
+	}
+}
+
+// TestCheckpointRotatesAndTruncates: Checkpoint advances the generation,
+// deletes superseded logs, and mutations keep flowing before and after.
+func TestCheckpointRotatesAndTruncates(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, WithShards(2), WithAutoCheckpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for i := 0; i < 6; i++ {
+		storeChain(t, d, fmt.Sprintf("a%d", i), 3)
+	}
+	st1, err := d.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Generation != 2 || st1.Segments != 2 || st1.BytesWritten <= 0 {
+		t.Fatalf("first checkpoint stats %+v", st1)
+	}
+	for i := 0; i < 6; i++ {
+		storeChain(t, d, fmt.Sprintf("b%d", i), 3)
+	}
+	st2, err := d.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Generation != 3 {
+		t.Fatalf("second checkpoint generation %d, want 3", st2.Generation)
+	}
+	// Only generation-3 logs and segments may remain.
+	wals, _ := filepath.Glob(filepath.Join(dir, "wal-*-*.log"))
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*-*.bin"))
+	if len(wals) != 2 || len(segs) != 2 {
+		t.Fatalf("after checkpoint: %d logs %d segments, want 2+2", len(wals), len(segs))
+	}
+	for _, p := range append(wals, segs...) {
+		var sh int
+		var g uint64
+		base := filepath.Base(p)
+		if _, err := fmt.Sscanf(base, "wal-%d-%d.log", &sh, &g); err != nil {
+			fmt.Sscanf(base, "seg-%d-%d.bin", &sh, &g)
+		}
+		if g != 3 {
+			t.Fatalf("stale generation-%d file survived checkpoint: %s", g, base)
+		}
+	}
+	// Three checkpoints: the boot checkpoint plus the two explicit ones.
+	if st := d.PersistStats(); st.Checkpoints != 3 || st.Generation != 3 || st.Segments != 2 {
+		t.Fatalf("PersistStats %+v", st)
+	}
+}
+
+// TestWithoutWAL: no logs are written; a Close checkpoint makes contents
+// durable, an abandoned handle loses everything back to the last
+// checkpoint — exactly the advertised contract.
+func TestWithoutWAL(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, WithoutWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := storeChain(t, d, "kept", 3)
+	if wals, _ := filepath.Glob(filepath.Join(dir, "wal-*")); len(wals) != 0 {
+		t.Fatalf("WithoutWAL wrote logs: %v", wals)
+	}
+	if st := d.PersistStats(); st.WAL {
+		t.Fatalf("PersistStats claims WAL: %+v", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, WithoutWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGraph(t, r, id, "kept", 3)
+	storeChain(t, r, "lost", 3) // never checkpointed; the handle is abandoned
+
+	r2, err := Open(dir, WithoutWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (uncheckpointed mutation must be lost)", r2.Len())
+	}
+}
+
+// TestReshardOnOpen: reopening with a different WithShards count
+// re-shards during recovery and immediately checkpoints the new layout.
+func TestReshardOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, 12)
+	for i := range ids {
+		ids[i] = storeChain(t, d, fmt.Sprintf("s%d", i), 3+i%2)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", r.NumShards())
+	}
+	for i, id := range ids {
+		wantGraph(t, r, id, fmt.Sprintf("s%d", i), 3+i%2)
+	}
+	if segs, _ := filepath.Glob(filepath.Join(dir, "seg-*-*.bin")); len(segs) != 4 {
+		t.Fatalf("%d segments after re-shard, want 4", len(segs))
+	}
+}
+
+// TestLoadBinaryOnDurable: a legacy snapshot loaded into an open durable
+// database lands in segments immediately and survives a reopen; the WAL
+// keeps working for mutations after the swap.
+func TestLoadBinaryOnDurable(t *testing.T) {
+	src := New(WithName("legacy-src"))
+	legacyIDs := make([]int, 5)
+	for i := range legacyIDs {
+		legacyIDs[i] = storeChain(t, src, fmt.Sprintf("l%d", i), 4)
+	}
+	var snap bytes.Buffer
+	if err := src.SaveBinary(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	d, err := Open(dir, WithAutoCheckpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeChain(t, d, "pre-swap", 3) // replaced by the load
+	if err := d.LoadBinary(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len after LoadBinary = %d, want 5", d.Len())
+	}
+	post := storeChain(t, d, "post-swap", 3) // journaled against the new store
+	// Abandon without Close: the swap's checkpoint plus the post-swap WAL
+	// record must both survive.
+	r, err := Open(dir, WithAutoCheckpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 6 {
+		t.Fatalf("recovered Len = %d, want 6", r.Len())
+	}
+	wantGraph(t, r, post, "post-swap", 3)
+}
+
+// TestErrNotDurableAndClosed: the persistence surface degrades loudly —
+// in-memory databases reject Checkpoint, closed ones reject everything.
+func TestErrNotDurableAndClosed(t *testing.T) {
+	m := New()
+	if _, err := m.Checkpoint(); err != ErrNotDurable {
+		t.Fatalf("in-memory Checkpoint err = %v, want ErrNotDurable", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("in-memory Close err = %v", err)
+	}
+	if st := m.PersistStats(); st.Durable {
+		t.Fatalf("in-memory PersistStats %+v", st)
+	}
+
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeChain(t, d, "g", 3)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close err = %v", err)
+	}
+	if _, err := d.Checkpoint(); err != ErrClosed {
+		t.Fatalf("closed Checkpoint err = %v, want ErrClosed", err)
+	}
+	b := d.NewGraph("late")
+	b.AddVertex("A")
+	if _, err := b.Store(); err == nil {
+		t.Fatal("Store after Close succeeded")
+	}
+}
+
+// TestOpenRejectsCorruptManifest: a trashed manifest fails Open loudly
+// rather than silently starting empty over existing data.
+func TestOpenRejectsCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeChain(t, d, "g", 3)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), []byte("not a manifest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a corrupt manifest")
+	}
+}

@@ -14,7 +14,10 @@
 //	POST   /v1/graphs       ingest (.gsim text or JSON; a JSON graph with
 //	                        "id" re-POSTs over the stored graph — update)
 //	DELETE /v1/graphs/{id}  remove one stored graph by ID
-//	GET    /v1/stats        database, prior, cache and server counters
+//	POST   /v1/admin/checkpoint  force a snapshot + WAL truncation (409
+//	                        when the database is in-memory)
+//	GET    /v1/stats        database, prior, cache, persistence and
+//	                        server counters
 //	GET    /healthz         liveness
 //
 // Graph IDs are stable handles: ingest responses list them, search
@@ -107,6 +110,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/stream", s.counted(post(s.handleStream)))
 	mux.HandleFunc("/v1/graphs", s.counted(post(s.handleIngest)))
 	mux.HandleFunc("DELETE /v1/graphs/{id}", s.counted(s.handleDelete))
+	mux.HandleFunc("/v1/admin/checkpoint", s.counted(post(s.handleCheckpoint)))
 	mux.HandleFunc("/v1/stats", s.counted(get(s.handleStats)))
 	mux.HandleFunc("/healthz", s.counted(get(s.handleHealthz)))
 	return mux
@@ -151,15 +155,63 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Write([]byte("ok\n"))
 }
 
+// checkpointResponse is the POST /v1/admin/checkpoint body: what the
+// forced snapshot wrote. A non-durable database answers 409.
+type checkpointResponse struct {
+	Epoch        uint64 `json:"epoch"`
+	Generation   uint64 `json:"generation"`
+	Segments     int    `json:"segments"`
+	BytesWritten int64  `json:"bytes_written"`
+	DurationMS   int64  `json:"duration_ms"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	st, err := s.db.Checkpoint()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, gsim.ErrNotDurable) || errors.Is(err, gsim.ErrClosed) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, checkpointResponse{
+		Epoch:        st.Epoch,
+		Generation:   st.Generation,
+		Segments:     st.Segments,
+		BytesWritten: st.BytesWritten,
+		DurationMS:   st.Duration.Milliseconds(),
+	})
+}
+
 // statsResponse is the /v1/stats body.
 type statsResponse struct {
-	Database  dbStats        `json:"database"`
-	Priors    priorStats     `json:"priors"`
-	Model     modelStats     `json:"model"`
-	Prefilter prefilterStats `json:"prefilter"`
-	Epoch     uint64         `json:"epoch"`
-	Cache     cacheStats     `json:"cache"`
-	Server    serverCounts   `json:"server"`
+	Database    dbStats        `json:"database"`
+	Priors      priorStats     `json:"priors"`
+	Model       modelStats     `json:"model"`
+	Prefilter   prefilterStats `json:"prefilter"`
+	Persistence persistStats   `json:"persistence"`
+	Epoch       uint64         `json:"epoch"`
+	Cache       cacheStats     `json:"cache"`
+	Server      serverCounts   `json:"server"`
+}
+
+// persistStats surfaces the durability layer: WAL pressure (bytes and
+// records not yet snapshotted, records not yet known synced) and the
+// checkpoint history. All-false/zero when the database is in-memory.
+type persistStats struct {
+	Durable             bool   `json:"durable"`
+	WAL                 bool   `json:"wal"`
+	Policy              string `json:"policy,omitempty"`
+	Generation          uint64 `json:"generation,omitempty"`
+	Segments            int    `json:"segments,omitempty"`
+	WALBytes            int64  `json:"wal_bytes"`
+	WALRecords          uint64 `json:"wal_records"`
+	WALUnsynced         uint64 `json:"wal_unsynced"`
+	Checkpoints         uint64 `json:"checkpoints"`
+	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
+	LastCheckpointBytes int64  `json:"last_checkpoint_bytes"`
+	LastCheckpointMS    int64  `json:"last_checkpoint_ms"`
 }
 
 // modelStats surfaces the steady-state hot-path artifacts: the posterior
@@ -292,7 +344,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			ArenaCompactions: pre.Compactions,
 			BitsetSpanWords:  spanWords,
 		},
-		Epoch: s.db.Epoch(),
+		Persistence: persistenceBlock(s.db.PersistStats()),
+		Epoch:       s.db.Epoch(),
 		Cache: cacheStats{
 			Len:           cs.Len,
 			Cap:           cs.Cap,
@@ -308,6 +361,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		},
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// persistenceBlock maps the library's persistence counters to the wire.
+func persistenceBlock(ps gsim.PersistStats) persistStats {
+	return persistStats{
+		Durable:             ps.Durable,
+		WAL:                 ps.WAL,
+		Policy:              ps.Policy,
+		Generation:          ps.Generation,
+		Segments:            ps.Segments,
+		WALBytes:            ps.WALBytes,
+		WALRecords:          ps.WALRecords,
+		WALUnsynced:         ps.WALUnsynced,
+		Checkpoints:         ps.Checkpoints,
+		LastCheckpointEpoch: ps.LastCheckpointEpoch,
+		LastCheckpointBytes: ps.LastCheckpointBytes,
+		LastCheckpointMS:    ps.LastCheckpointDuration.Milliseconds(),
+	}
 }
 
 // writeJSON renders v with status.

@@ -58,21 +58,43 @@ import (
 	"gsim/internal/db"
 	"gsim/internal/graph"
 	"gsim/internal/index"
+	"gsim/internal/wal"
 )
 
 // cutRetries bounds the optimistic consistent-cut loop in Views before it
 // falls back to locking every shard.
 const cutRetries = 4
 
+// Token identifies one journaled record for a later durability wait: the
+// record's sequence number plus an opaque handle naming the log it went
+// to. The zero Token waits for nothing.
+type Token struct {
+	Seq uint64
+	H   any
+}
+
+// Journal is the write-ahead hook a durable database attaches to its
+// store (SetJournal). Append is called inside the owning shard's critical
+// section — mutations reach shard i's log in exactly the order they are
+// applied — and must only buffer; Wait is called after the locks drop and
+// blocks until the appended record is durable under the journal's fsync
+// policy, so concurrent mutators group-commit instead of serialising
+// their fsyncs behind the shard lock. g is nil for deletes.
+type Journal interface {
+	Append(shard int, op wal.Op, id uint64, g *graph.Graph) (Token, error)
+	Wait(t Token) error
+}
+
 // Map is a sharded mutable graph store. Construct with New or
 // FromCollection; all methods are safe for concurrent use.
 type Map struct {
-	name   string
-	dict   *graph.Labels
-	bdict  *db.BranchDict
-	shards []*bucket
-	seq    atomic.Uint64 // next graph ID
-	gepoch atomic.Uint64 // global epoch: one advance per mutation batch
+	name    string
+	dict    *graph.Labels
+	bdict   *db.BranchDict
+	shards  []*bucket
+	journal Journal       // nil for a purely in-memory store
+	seq     atomic.Uint64 // next graph ID
+	gepoch  atomic.Uint64 // global epoch: one advance per mutation batch
 
 	sizes atomic.Pointer[sizesCache] // memoised DistinctSizes per epoch
 }
@@ -175,13 +197,27 @@ func Shards(n int) int {
 // New returns an empty store with n shards (n ≤ 0: GOMAXPROCS) and fresh
 // label and branch dictionaries.
 func New(name string, n int) *Map {
+	return NewWithDictionaries(name, n, graph.NewLabels(), db.NewBranchDict())
+}
+
+// NewWithDictionaries returns an empty store adopting existing label and
+// branch dictionaries — the recovery constructor: the manifest's label
+// alphabet is interned first so segment and WAL label references resolve,
+// then the store is rebuilt into it.
+func NewWithDictionaries(name string, n int, dict *graph.Labels, bdict *db.BranchDict) *Map {
 	n = Shards(n)
-	m := &Map{name: name, dict: graph.NewLabels(), bdict: db.NewBranchDict(), shards: make([]*bucket, n)}
+	m := &Map{name: name, dict: dict, bdict: bdict, shards: make([]*bucket, n)}
 	for i := range m.shards {
 		m.shards[i] = &bucket{slots: make(map[uint64]int), st: newStats()}
 	}
 	return m
 }
+
+// SetJournal attaches the write-ahead hook every subsequent mutation
+// flows through. It must be called before the store is shared between
+// goroutines (recovery attaches the journal before the database is
+// returned); it is not synchronised against in-flight mutations.
+func (m *Map) SetJournal(j Journal) { m.journal = j }
 
 // FromCollection distributes an assembled flat collection over n shards,
 // adopting its label dictionary, branch dictionary and entries. Entry IDs
@@ -316,17 +352,45 @@ func (m *Map) bump(b *bucket) {
 }
 
 // Add stores g under a fresh ID and returns it. Only the owning shard is
-// locked, so Adds of different graphs run concurrently.
-func (m *Map) Add(g *graph.Graph) uint64 {
+// locked, so Adds of different graphs run concurrently. With a journal
+// attached, a nil error means the mutation is durable under the
+// journal's fsync policy; on a journal error the mutation is either not
+// applied (append failed) or applied but of unknown durability (wait
+// failed, which poisons the journal for every later mutation anyway).
+func (m *Map) Add(g *graph.Graph) (uint64, error) {
 	ids := m.intern(g)
 	id := m.seq.Add(1) - 1
 	e := &db.Entry{ID: id, G: g, Branches: ids}
 	b := m.shardOf(id)
 	b.mu.Lock()
+	tok, err := m.jappend(id, wal.OpStore, id, g)
+	if err != nil {
+		b.mu.Unlock()
+		m.bdict.Release(ids)
+		return 0, err
+	}
 	b.insert(e)
 	m.bump(b)
 	b.mu.Unlock()
-	return id
+	return id, m.jwait(tok)
+}
+
+// jappend journals one record for the shard owning id; the caller holds
+// that shard's write lock. A nil journal appends nothing.
+func (m *Map) jappend(id uint64, op wal.Op, recID uint64, g *graph.Graph) (Token, error) {
+	if m.journal == nil {
+		return Token{}, nil
+	}
+	return m.journal.Append(m.ShardIndex(id), op, recID, g)
+}
+
+// jwait blocks until a journaled record is durable; called outside the
+// shard locks so concurrent mutators share fsyncs.
+func (m *Map) jwait(tok Token) error {
+	if m.journal == nil || tok.H == nil {
+		return nil
+	}
+	return m.journal.Wait(tok)
 }
 
 // Delete removes the graph with the given ID: tombstone-free swap-remove
@@ -334,13 +398,18 @@ func (m *Map) Add(g *graph.Graph) uint64 {
 // dictionary release (which may trigger compaction). It reports whether
 // the ID existed. The next consistent cut — and therefore the next
 // search — no longer sees the graph.
-func (m *Map) Delete(id uint64) bool {
+func (m *Map) Delete(id uint64) (bool, error) {
 	b := m.shardOf(id)
 	b.mu.Lock()
 	slot, ok := b.slots[id]
 	if !ok {
 		b.mu.Unlock()
-		return false
+		return false, nil
+	}
+	tok, err := m.jappend(id, wal.OpDelete, id, nil)
+	if err != nil {
+		b.mu.Unlock()
+		return false, err
 	}
 	e := b.entries[slot]
 	b.removeAt(slot)
@@ -349,19 +418,24 @@ func (m *Map) Delete(id uint64) bool {
 	m.bump(b)
 	b.mu.Unlock()
 	m.bdict.Release(e.Branches)
-	return true
+	return true, m.jwait(tok)
 }
 
 // Update replaces the graph stored under id with g, keeping the ID (and
 // therefore the shard). It reports whether the ID existed; when it does
 // not, nothing is interned or released.
-func (m *Map) Update(id uint64, g *graph.Graph) bool {
+func (m *Map) Update(id uint64, g *graph.Graph) (bool, error) {
 	b := m.shardOf(id)
 	b.mu.Lock()
 	slot, ok := b.slots[id]
 	if !ok {
 		b.mu.Unlock()
-		return false
+		return false, nil
+	}
+	tok, err := m.jappend(id, wal.OpUpdate, id, g)
+	if err != nil {
+		b.mu.Unlock()
+		return false, err
 	}
 	old := b.entries[slot]
 	e := &db.Entry{ID: id, G: g, Branches: m.intern(g)}
@@ -372,7 +446,7 @@ func (m *Map) Update(id uint64, g *graph.Graph) bool {
 	m.bump(b)
 	b.mu.Unlock()
 	m.bdict.Release(old.Branches)
-	return true
+	return true, m.jwait(tok)
 }
 
 // fixMaxima recomputes the shard's high-water marks exactly over the
@@ -406,8 +480,29 @@ type Mutation struct {
 // an unknown update ID nothing is changed and the missing ID is
 // returned; otherwise Commit returns the ID of the first insert (the
 // rest follow contiguously) and true. A batch with no inserts returns
-// the store's next ID.
-func (m *Map) Commit(batch []Mutation) (firstID uint64, missing uint64, ok bool) {
+// the store's next ID. With a journal attached, every record of the
+// batch is journaled before any is applied, and Commit returns only
+// once all of them are durable; batch durability is per record, not
+// atomic — a crash mid-flush may persist a prefix of an unacknowledged
+// batch, which recovery replays (the none-or-all contract binds live
+// observers, acknowledgement still implies the whole batch survived).
+func (m *Map) Commit(batch []Mutation) (firstID uint64, missing uint64, ok bool, err error) {
+	firstID, missing, ok, toks, err := m.commitLocked(batch)
+	if err != nil || !ok {
+		return firstID, missing, ok, err
+	}
+	for h, seq := range toks {
+		if werr := m.journal.Wait(Token{Seq: seq, H: h}); werr != nil {
+			return firstID, 0, true, werr
+		}
+	}
+	return firstID, 0, true, nil
+}
+
+// commitLocked is Commit's critical section: validate, journal, apply,
+// all under every shard lock. It returns one max-sequence token per
+// journal log touched, for the caller to wait on after the locks drop.
+func (m *Map) commitLocked(batch []Mutation) (firstID uint64, missing uint64, ok bool, toks map[any]uint64, err error) {
 	for _, b := range m.shards {
 		b.mu.Lock()
 	}
@@ -424,7 +519,7 @@ func (m *Map) Commit(batch []Mutation) (firstID uint64, missing uint64, ok bool)
 			continue
 		}
 		if _, exists := m.shardOf(*mu.ID).slots[*mu.ID]; !exists {
-			return 0, *mu.ID, false
+			return 0, *mu.ID, false, nil, nil
 		}
 	}
 	// Reserve the whole insert run in one atomic step: a concurrent Add
@@ -435,6 +530,28 @@ func (m *Map) Commit(batch []Mutation) (firstID uint64, missing uint64, ok bool)
 		firstID = m.seq.Load()
 	} else {
 		firstID = m.seq.Add(inserts) - inserts
+	}
+	// Journal the whole batch before applying any of it: an append
+	// failure then leaves the in-memory store untouched.
+	if m.journal != nil {
+		toks = make(map[any]uint64)
+		next := firstID
+		for _, mu := range batch {
+			id := next
+			op := wal.OpStore
+			if mu.ID != nil {
+				id, op = *mu.ID, wal.OpUpdate
+			} else {
+				next++
+			}
+			tok, jerr := m.jappend(id, op, id, mu.G)
+			if jerr != nil {
+				return 0, 0, false, nil, jerr
+			}
+			if tok.Seq > toks[tok.H] {
+				toks[tok.H] = tok.Seq
+			}
+		}
 	}
 	next := firstID
 	touched := make(map[*bucket]struct{})
@@ -472,7 +589,115 @@ func (m *Map) Commit(batch []Mutation) (firstID uint64, missing uint64, ok bool)
 	for _, ids := range released {
 		m.bdict.Release(ids)
 	}
-	return firstID, 0, true
+	return firstID, 0, true, toks, nil
+}
+
+// Install bulk-inserts recovered entries without journaling them — they
+// came from a snapshot segment, so they are durable already. Entries are
+// placed by their existing IDs; the ID sequence is raised past the
+// largest installed ID. Safe to call concurrently (parallel segment
+// loads Install as they decode), but IDs must be distinct across all
+// calls — segment files are disjoint by construction.
+func (m *Map) Install(entries []*db.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	groups := make(map[*bucket][]*db.Entry, len(m.shards))
+	maxID := uint64(0)
+	for _, e := range entries {
+		b := m.shardOf(e.ID)
+		groups[b] = append(groups[b], e)
+		if e.ID > maxID {
+			maxID = e.ID
+		}
+	}
+	for b, es := range groups {
+		b.mu.Lock()
+		for _, e := range es {
+			b.insert(e)
+		}
+		m.bump(b)
+		b.mu.Unlock()
+	}
+	m.EnsureSeq(maxID + 1)
+}
+
+// Replay applies one recovered WAL record without journaling it again:
+// stores and updates upsert by ID (an update's target may live in a
+// snapshot segment or earlier in the same log), deletes remove if
+// present. Safe to call concurrently for records of different shards;
+// records of one shard must be replayed in log order, which per-shard
+// logs give for free.
+func (m *Map) Replay(op wal.Op, id uint64, g *graph.Graph) {
+	b := m.shardOf(id)
+	if op == wal.OpDelete {
+		b.mu.Lock()
+		if slot, ok := b.slots[id]; ok {
+			e := b.entries[slot]
+			b.removeAt(slot)
+			b.st.remove(e.G)
+			b.fixMaxima()
+			m.bump(b)
+			b.mu.Unlock()
+			m.bdict.Release(e.Branches)
+			return
+		}
+		b.mu.Unlock()
+		return
+	}
+	e := &db.Entry{ID: id, G: g, Branches: m.intern(g)}
+	b.mu.Lock()
+	var old branch.IDs
+	if slot, ok := b.slots[id]; ok {
+		prev := b.entries[slot]
+		b.replaceAt(slot, e)
+		b.st.remove(prev.G)
+		b.st.add(g)
+		b.fixMaxima()
+		old = prev.Branches
+	} else {
+		b.insert(e)
+	}
+	m.bump(b)
+	b.mu.Unlock()
+	if old != nil {
+		m.bdict.Release(old)
+	}
+	m.EnsureSeq(id + 1)
+}
+
+// EnsureSeq raises the ID sequence to at least n (never lowers it), so
+// recovered stores keep assigning fresh IDs above everything replayed.
+func (m *Map) EnsureSeq(n uint64) {
+	for {
+		cur := m.seq.Load()
+		if cur >= n || m.seq.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// CutRotate takes a checkpoint cut: shard by shard, it acquires the
+// write lock, snapshots the entry slice, and calls rotate(i) inside the
+// critical section — the journal swaps shard i's log there, so every
+// record in the old log is reflected in the snapshot and every mutation
+// after it lands in the new log. Locks are taken one at a time: a batch
+// Commit (which holds all shard locks) is therefore entirely before or
+// entirely after the cut on any given shard, and the per-shard
+// snapshot+log pair stays exact even when a batch straddles the cut
+// across shards. Returns the per-shard snapshots and the global epoch.
+func (m *Map) CutRotate(rotate func(shard int) error) ([][]*db.Entry, uint64, error) {
+	cuts := make([][]*db.Entry, len(m.shards))
+	for i, b := range m.shards {
+		b.mu.Lock()
+		cuts[i] = b.entries
+		err := rotate(i)
+		b.mu.Unlock()
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return cuts, m.gepoch.Load(), nil
 }
 
 // Get returns the entry stored under id.

@@ -28,7 +28,7 @@ func chain(dict *graph.Labels, name string, n int, label string) *graph.Graph {
 func fill(m *Map, n int) []uint64 {
 	ids := make([]uint64, n)
 	for i := range ids {
-		ids[i] = m.Add(chain(m.Dict(), fmt.Sprintf("g%d", i), 3+i%5, "L"))
+		ids[i], _ = m.Add(chain(m.Dict(), fmt.Sprintf("g%d", i), 3+i%5, "L"))
 	}
 	return ids
 }
@@ -88,14 +88,14 @@ func TestDeleteSwapRemove(t *testing.T) {
 	if e0 != 30 {
 		t.Fatalf("epoch after 30 adds = %d", e0)
 	}
-	if m.Delete(999) {
+	if ok, _ := m.Delete(999); ok {
 		t.Fatal("deleted a nonexistent ID")
 	}
 	if m.Epoch() != e0 {
 		t.Fatal("failed delete moved the epoch")
 	}
 	victim := ids[7]
-	if !m.Delete(victim) {
+	if ok, _ := m.Delete(victim); !ok {
 		t.Fatal("delete failed")
 	}
 	if m.Epoch() != e0+1 {
@@ -104,7 +104,7 @@ func TestDeleteSwapRemove(t *testing.T) {
 	if _, ok := m.Get(victim); ok {
 		t.Fatal("deleted ID still resolvable")
 	}
-	if m.Delete(victim) {
+	if ok, _ := m.Delete(victim); ok {
 		t.Fatal("double delete succeeded")
 	}
 	if m.Len() != 29 {
@@ -133,10 +133,10 @@ func TestUpdateReplacesInPlace(t *testing.T) {
 	ids := fill(m, 10)
 	before := m.Epoch()
 	g := chain(m.Dict(), "updated", 9, "Z")
-	if m.Update(12345, g) {
+	if ok, _ := m.Update(12345, g); ok {
 		t.Fatal("updated a nonexistent ID")
 	}
-	if !m.Update(ids[3], g) {
+	if ok, _ := m.Update(ids[3], g); !ok {
 		t.Fatal("update failed")
 	}
 	if m.Epoch() != before+1 {
@@ -161,12 +161,12 @@ func TestStatsTrackMutations(t *testing.T) {
 	m := New("t", 4)
 	small := chain(m.Dict(), "s", 3, "A")
 	big := chain(m.Dict(), "b", 12, "B")
-	idSmall := m.Add(small)
-	idBig := m.Add(big)
+	idSmall, _ := m.Add(small)
+	idBig, _ := m.Add(big)
 	if st := m.Stats(); st.Graphs != 2 || st.MaxV != 12 {
 		t.Fatalf("stats %+v", st)
 	}
-	if !m.Delete(idBig) {
+	if ok, _ := m.Delete(idBig); !ok {
 		t.Fatal("delete big failed")
 	}
 	st := m.Stats()
@@ -271,7 +271,7 @@ func TestCommitAtomicAndValidated(t *testing.T) {
 	ids := fill(m, 6)
 	epoch := m.Epoch()
 	bogus := uint64(777)
-	_, missing, ok := m.Commit([]Mutation{
+	_, missing, ok, _ := m.Commit([]Mutation{
 		{G: chain(m.Dict(), "new0", 4, "N")},
 		{ID: &bogus, G: chain(m.Dict(), "nope", 4, "N")},
 	})
@@ -281,7 +281,7 @@ func TestCommitAtomicAndValidated(t *testing.T) {
 	if m.Len() != 6 || m.Epoch() != epoch {
 		t.Fatal("failed commit left changes behind")
 	}
-	first, _, ok := m.Commit([]Mutation{
+	first, _, ok, _ := m.Commit([]Mutation{
 		{G: chain(m.Dict(), "new0", 4, "N")},
 		{ID: &ids[1], G: chain(m.Dict(), "upd1", 5, "U")},
 		{G: chain(m.Dict(), "new1", 4, "N")},
@@ -343,10 +343,11 @@ func TestFromCollectionPreservesIdentity(t *testing.T) {
 func TestDeleteReleasesBranchRefs(t *testing.T) {
 	m := New("t", 2)
 	// Two graph families with disjoint branch shapes.
-	keep := m.Add(chain(m.Dict(), "keep", 4, "K"))
+	keep, _ := m.Add(chain(m.Dict(), "keep", 4, "K"))
 	var gone []uint64
 	for i := 0; i < 8; i++ {
-		gone = append(gone, m.Add(chain(m.Dict(), fmt.Sprintf("gone%d", i), 7, "X")))
+		id, _ := m.Add(chain(m.Dict(), fmt.Sprintf("gone%d", i), 7, "X"))
+		gone = append(gone, id)
 	}
 	liveBefore := m.BranchDict().Stats().Live
 	for _, id := range gone {
@@ -394,7 +395,7 @@ func TestConcurrentMutations(t *testing.T) {
 					m.Add(chain(m.Dict(), fmt.Sprintf("w%d_%d", w, i), 3+rng.Intn(6), "W"))
 				case 1:
 					id := seed[rng.Intn(len(seed))]
-					if m.Delete(id) {
+					if ok, _ := m.Delete(id); ok {
 						deleted.Store(id, true)
 					}
 				default:

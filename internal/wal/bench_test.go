@@ -1,0 +1,43 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"gsim/internal/graph"
+)
+
+// BenchmarkWALAppend measures the CPU cost of journaling one Store
+// mutation — encode, frame, CRC, buffer — under the group-commit writer
+// with fsync left to the OS (FsyncNever), so the number gates the code
+// path rather than the disk. Gated by benchgate.
+func BenchmarkWALAppend(b *testing.B) {
+	dict := graph.NewLabels()
+	g := graph.New(6)
+	g.Name = "bench"
+	for i := 0; i < 6; i++ {
+		g.AddVertex(dict.Intern(fmt.Sprintf("v%d", i%3)))
+	}
+	for i := 1; i < 6; i++ {
+		g.MustAddEdge(i-1, i, dict.Intern("e"))
+	}
+	w, err := Open(filepath.Join(b.TempDir(), "bench.log"), Options{Policy: FsyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendRecord(buf[:0], OpStore, uint64(i), g, dict)
+		seq, err := w.Append(buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Commit(seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"gsim/internal/graph"
+)
+
+func testGraph(dict *graph.Labels, name string, n int) *graph.Graph {
+	g := graph.New(n)
+	g.Name = name
+	for i := 0; i < n; i++ {
+		g.AddVertex(dict.Intern(fmt.Sprintf("v%d", i%3)))
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i-1, i, dict.Intern("e"))
+	}
+	return g
+}
+
+func graphsEqual(t *testing.T, want, got *graph.Graph, wdict, gdict *graph.Labels) {
+	t.Helper()
+	if want.Name != got.Name {
+		t.Fatalf("name %q != %q", got.Name, want.Name)
+	}
+	if want.NumVertices() != got.NumVertices() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("shape (%d,%d) != (%d,%d)",
+			got.NumVertices(), got.NumEdges(), want.NumVertices(), want.NumEdges())
+	}
+	for v := 0; v < want.NumVertices(); v++ {
+		if wdict.Name(want.VertexLabel(v)) != gdict.Name(got.VertexLabel(v)) {
+			t.Fatalf("vertex %d label %q != %q",
+				v, gdict.Name(got.VertexLabel(v)), wdict.Name(want.VertexLabel(v)))
+		}
+	}
+	we, ge := want.Edges(), got.Edges()
+	for i := range we {
+		if we[i].U != ge[i].U || we[i].V != ge[i].V ||
+			wdict.Name(we[i].Label) != gdict.Name(ge[i].Label) {
+			t.Fatalf("edge %d mismatch: %+v vs %+v", i, ge[i], we[i])
+		}
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	dict := graph.NewLabels()
+	g := testGraph(dict, "rt", 7)
+	payload := AppendRecord(nil, OpStore, 42, g, dict)
+
+	fresh := graph.NewLabels() // decode into a fresh dictionary: labels travel by string
+	rec, err := DecodeRecord(payload, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Op != OpStore || rec.ID != 42 {
+		t.Fatalf("got op=%v id=%d", rec.Op, rec.ID)
+	}
+	graphsEqual(t, g, rec.G, dict, fresh)
+
+	del := AppendRecord(nil, OpDelete, 9, nil, nil)
+	rec, err = DecodeRecord(del, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Op != OpDelete || rec.ID != 9 || rec.G != nil {
+		t.Fatalf("bad delete record: %+v", rec)
+	}
+}
+
+func TestRecordDecodeRejectsGarbage(t *testing.T) {
+	dict := graph.NewLabels()
+	good := AppendRecord(nil, OpUpdate, 3, testGraph(dict, "g", 4), dict)
+	cases := [][]byte{
+		{},                                   // empty
+		{99},                                 // unknown kind
+		good[:len(good)-1],                   // truncated
+		append(append([]byte{}, good...), 0), // trailing byte
+	}
+	for i, payload := range cases {
+		if _, err := DecodeRecord(payload, graph.NewLabels()); err == nil {
+			t.Errorf("case %d: corrupt payload decoded without error", i)
+		}
+	}
+}
+
+// writeRecords appends n store records and returns their payload bytes.
+func writeRecords(t *testing.T, path string, n int, policy Policy) [][]byte {
+	t.Helper()
+	dict := graph.NewLabels()
+	w, err := Open(path, Options{Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		p := AppendRecord(nil, OpStore, uint64(i), testGraph(dict, fmt.Sprintf("g%d", i), 3+i%4), dict)
+		payloads[i] = p
+		seq, err := w.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return payloads
+}
+
+func replayAll(t *testing.T, path string) [][]byte {
+	t.Helper()
+	var got [][]byte
+	n, err := Replay(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(got) {
+		t.Fatalf("Replay reported %d records, delivered %d", n, len(got))
+	}
+	return got
+}
+
+func TestWriterReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	want := writeRecords(t, path, 25, FsyncAlways)
+	got := replayAll(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("record %d payload mismatch", i)
+		}
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	writeRecords(t, path, 10, FsyncAlways)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: chop off its final 3 bytes.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path); len(got) != 9 {
+		t.Fatalf("replayed %d records after tear, want 9", len(got))
+	}
+
+	// Open truncates the tear and appends cleanly after it.
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Records != 9 {
+		t.Fatalf("reopened writer sees %d records, want 9", st.Records)
+	}
+	seq, err := w.Append([]byte("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, path)
+	if len(got) != 10 || string(got[9]) != "fresh" {
+		t.Fatalf("after reopen+append: %d records (last %q)", len(got), got[len(got)-1])
+	}
+}
+
+func TestBitFlipStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	writeRecords(t, path, 10, FsyncNever)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40 // flip a bit inside the last record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path); len(got) != 9 {
+		t.Fatalf("replayed %d records after bit flip, want 9", len(got))
+	}
+}
+
+func TestCorruptLengthStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	writeRecords(t, path, 3, FsyncNever)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 0xff // first record's length field becomes enormous
+	data[3] = 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path); len(got) != 0 {
+		t.Fatalf("replayed %d records with corrupt length, want 0", len(got))
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, err := Replay(filepath.Join(t.TempDir(), "absent.log"), func([]byte) error { return nil })
+	if err != nil || n != 0 {
+		t.Fatalf("missing file: n=%d err=%v", n, err)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	w, err := Open(path, Options{Policy: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				seq, err := w.Append([]byte(fmt.Sprintf("w%d-%d", i, j)))
+				if err == nil {
+					err = w.Commit(seq)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Records != writers*per || st.Unsynced != 0 {
+		t.Fatalf("stats %+v, want %d records all synced", st, writers*per)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, path); len(got) != writers*per {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*per)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	for _, p := range []Policy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(p.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "w.log")
+			want := writeRecords(t, path, 12, p)
+			if got := replayAll(t, path); len(got) != len(want) {
+				t.Fatalf("replayed %d records, want %d", len(got), len(want))
+			}
+		})
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy accepted bogus policy")
+	}
+	for _, s := range []string{"always", "interval", "never"} {
+		p, err := ParsePolicy(s)
+		if err != nil || p.String() != s {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, p, err)
+		}
+	}
+}
+
+func TestClosedWriterRejectsAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("x")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+func TestStatsTracksUnsynced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.log")
+	w, err := Open(path, Options{Policy: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := w.Append([]byte("abc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.Unsynced != 5 || st.Bytes == 0 {
+		t.Fatalf("before sync: %+v", st)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.Unsynced != 0 {
+		t.Fatalf("after sync: %+v", st)
+	}
+}
