@@ -154,7 +154,7 @@ func (ps *preparedSearch) batchScorer() (method.BatchScorer, bool) {
 // emit as Skip verdicts without touching the scorer — exactly the pairs
 // the query-major path would prune. It returns the number of entries
 // examined.
-func (ps *preparedSearch) streamBatch(ctx context.Context, queries []*Query, bs method.BatchScorer, emit func(pos int, verdicts []method.Verdict) bool) (int, error) {
+func (ps *preparedSearch) streamBatch(ctx context.Context, queries []*Query, bs method.BatchScorer, tr *traceAcc, emit func(pos int, verdicts []method.Verdict) bool) (int, error) {
 	// Each query's key multiset resolves to interned IDs once per batch
 	// (see the stream comment on why at-or-after prepare is safe).
 	mqs := make([]*method.Query, len(queries))
@@ -173,12 +173,32 @@ func (ps *preparedSearch) streamBatch(ctx context.Context, queries []*Query, bs 
 	}
 	process := func(pos int, out []method.Verdict) error {
 		e := ps.entries[pos]
+		if !ps.opt.Prefilter {
+			for k := range out {
+				out[k] = method.Verdict{}
+			}
+			return bs.ScoreEntry(e, out)
+		}
+		skipped := 0
 		for k := range out {
-			out[k] = method.Verdict{Skip: ps.opt.Prefilter && ps.pre.Prunable(&qps[k], mqs[k].Branches, e, pos, ps.opt.Tau)}
+			skip := ps.pre.Prunable(&qps[k], mqs[k].Branches, e, pos, ps.opt.Tau)
+			out[k] = method.Verdict{Skip: skip}
+			if skip {
+				skipped++
+			}
+		}
+		if skipped > 0 {
+			// One atomic pair per entry, not per (entry, query): pruned
+			// pairs skip scoring anyway, so this stays off the hot path.
+			tr.pruned.Add(int64(skipped))
+			if ps.stele != nil {
+				ps.stele.Shards[ps.smap.ShardIndex(e.ID)].Pruned.Add(uint64(skipped))
+			}
 		}
 		return bs.ScoreEntry(e, out)
 	}
-	return engine.ScanBatch(ctx, len(ps.entries), len(queries), engine.Options{Workers: ps.opt.Workers}, process, emit)
+	opt := engine.Options{Workers: ps.opt.Workers, Observe: func(d time.Duration) { tr.scanNS = int64(d) }}
+	return engine.ScanBatch(ctx, len(ps.entries), len(queries), opt, process, emit)
 }
 
 // collectBatch gathers an entry-major scan into per-query Results
@@ -191,7 +211,8 @@ func (ps *preparedSearch) collectBatch(ctx context.Context, queries []*Query, bs
 		m   Match
 	}
 	hits := make([][]hit, len(queries))
-	scanned, err := ps.streamBatch(ctx, queries, bs, func(pos int, verdicts []method.Verdict) bool {
+	tr := &traceAcc{deep: ps.opt.Trace}
+	scanned, err := ps.streamBatch(ctx, queries, bs, tr, func(pos int, verdicts []method.Verdict) bool {
 		e := ps.entries[pos]
 		key := ps.key(pos)
 		for k, v := range verdicts {
@@ -206,6 +227,9 @@ func (ps *preparedSearch) collectBatch(ctx context.Context, queries []*Query, bs
 		return err
 	}
 	elapsed := time.Since(start)
+	mergeStart := time.Now()
+	results := make([]*Result, len(queries))
+	matched := 0
 	for k := range queries {
 		qh := hits[k]
 		sort.Slice(qh, func(a, b int) bool { return qh[a].key < qh[b].key })
@@ -213,13 +237,21 @@ func (ps *preparedSearch) collectBatch(ctx context.Context, queries []*Query, bs
 		for i, h := range qh {
 			matches[i] = h.m
 		}
-		res := &Result{
+		matched += len(matches)
+		results[k] = &Result{
 			Method:  ps.opt.Method,
 			Matches: matches,
 			Scanned: scanned,
 			Elapsed: elapsed,
 			Epoch:   ps.epoch,
 		}
+	}
+	// The shared scan and preparation are reported identically on every
+	// Result — per-query spans are not separable from an entry-major
+	// batch (mirroring the Elapsed contract above).
+	stages := ps.record(tr, scanned, len(queries), matched, int64(time.Since(mergeStart)))
+	for k, res := range results {
+		res.Stages = stages
 		if err := fn(k, res); err != nil {
 			return err
 		}

@@ -30,7 +30,18 @@
 // mutually exclusive; -warm τ̂ additionally pre-builds the posterior
 // lookup table for the expected query threshold so the first request
 // after boot already runs the steady-state path. Without priors,
-// GBDA-family queries answer 409 until they exist. -pprof exposes net/http/pprof on a separate,
+// GBDA-family queries answer 409 until they exist.
+//
+// Observability: GET /metrics serves the Prometheus text exposition
+// (per-endpoint request histograms, per-stage search timing, per-shard
+// scan/prune/mutation counters, WAL fsync timing, cache and runtime
+// gauges; disable with -metrics=false), /v1/stats carries the same
+// telemetry as JSON summaries, -slowlog logs any request at or over the
+// given duration with its per-stage breakdown and request ID, and
+// ?debug=trace on a search endpoint echoes the stage breakdown in the
+// response. Every response carries an X-Request-Id header (inbound IDs
+// are echoed, others generated) for correlation with the slow log.
+// -pprof exposes net/http/pprof on a separate,
 // opt-in listener (keep it on localhost or behind a firewall; profiles
 // leak internals), leaving the API listener free of debug handlers. The
 // server shuts down gracefully on SIGINT/SIGTERM: in-flight requests get
@@ -79,6 +90,8 @@ type config struct {
 	shards      int
 	shardsSet   bool
 	warmTau     int
+	slowLog     time.Duration
+	metrics     bool
 }
 
 // load assembles the served database and server from cfg.
@@ -176,10 +189,12 @@ func finishLoad(cfg config, d *gsim.Database) (*server.Server, error) {
 		}
 	}
 	srv := server.New(server.Config{
-		DB:            d,
-		CacheEntries:  cfg.cacheSize,
-		DefaultMethod: m,
-		Workers:       cfg.workers,
+		DB:             d,
+		CacheEntries:   cfg.cacheSize,
+		DefaultMethod:  m,
+		Workers:        cfg.workers,
+		SlowQuery:      cfg.slowLog,
+		DisableMetrics: !cfg.metrics,
 	})
 	return srv, nil
 }
@@ -218,6 +233,8 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "default scan workers per request (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.shards, "shards", 0, "storage shards for the resident database (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.warmTau, "warm", 0, "pre-build the posterior table for this τ̂ at startup (0 = off; needs priors)")
+	flag.DurationVar(&cfg.slowLog, "slowlog", 0, "log requests at or over this duration with their stage breakdown (0 = off)")
+	flag.BoolVar(&cfg.metrics, "metrics", true, "serve the Prometheus text exposition on GET /metrics")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "shards" {

@@ -13,6 +13,7 @@ import (
 	"gsim/internal/index"
 	"gsim/internal/method"
 	"gsim/internal/shard"
+	"gsim/internal/telemetry"
 )
 
 // Stats re-exports the collection statistics (the shape of Table III).
@@ -60,6 +61,35 @@ type Database struct {
 	// epoch (see Database.projection in search.go).
 	apMu sync.Mutex
 	proj *projection
+
+	// Telemetry lives as value fields so every constructor — literal
+	// structs included — gets working metrics with zero initialisation:
+	// the histograms' zero values are ready to record. tele spans the
+	// database's lifetime (it survives LoadBinary swaps — request
+	// metrics describe the process, not one store); the store's own
+	// per-shard counters live on shard.Map and restart with it.
+	tele    telemetry.SearchMetrics
+	walTele telemetry.WALMetrics
+}
+
+// Telemetry returns the database's search-side metric group: per-stage
+// latency histograms plus scanned/pruned/matched counters. Never nil;
+// safe for concurrent use.
+func (d *Database) Telemetry() *telemetry.SearchMetrics { return &d.tele }
+
+// WALTelemetry returns the durability-layer metric group
+// (append/fsync/group-commit-wait histograms). The histograms only
+// record on a durable database opened with a WAL; elsewhere they stay
+// empty.
+func (d *Database) WALTelemetry() *telemetry.WALMetrics { return &d.walTele }
+
+// StoreTelemetry returns the current store's metric group: per-shard
+// scanned/pruned/mutation counters and mutation-latency histograms.
+// A LoadBinary swap replaces it along with the store it describes.
+func (d *Database) StoreTelemetry() *telemetry.StoreMetrics {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.store.Telemetry()
 }
 
 // projection is the memoised flat scan set over one store epoch's
@@ -74,6 +104,11 @@ type projection struct {
 	withPre bool
 	entries []*db.Entry
 	pre     *index.Flat
+	// lens records how many entries each shard contributed to the flat
+	// concatenation (nil for an active subset) — the reverse map the
+	// telemetry layer uses to attribute a completed scan's per-shard
+	// scanned counts in O(shards) instead of one atomic per entry.
+	lens []int
 }
 
 // Epoch returns the database version: a counter advanced by every

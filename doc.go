@@ -48,6 +48,22 @@
 // fronted by an epoch-versioned LRU result cache (internal/qcache) — a
 // repeated query is served from memory until a mutation invalidates it.
 //
+// Telemetry layer (internal/telemetry). Orthogonal to the query path, a
+// lock-free metric core observes every layer above: log-bucketed latency
+// histograms (15 KiB of atomic bucket counters each; recording is three
+// atomic adds, no locks, no allocation) with mergeable snapshots and
+// exact-rank p50/p99/p999 extraction. Each search records coarse stage
+// spans (prepare, consistent cut, scan, merge) from a handful of clock
+// reads and reports them in Result.Stages; SearchOptions.Trace addition-
+// ally times the per-entry prefilter/score split for one diagnosed
+// query. The sharded store times committed mutations and counts
+// scanned-vs-pruned entries per shard, the WAL times appends, fsyncs and
+// group-commit waits, and the HTTP layer adds per-endpoint request
+// histograms, status-class counters and an in-flight gauge. Everything
+// is exposed twice: GET /metrics renders Prometheus text format and
+// /v1/stats carries JSON quantile summaries; a -slowlog threshold logs
+// outlier requests with their stage breakdown and X-Request-Id.
+//
 // # Storage layer
 //
 // Under everything sits a sharded mutable collection (internal/shard):

@@ -206,7 +206,7 @@ func initFresh(dir string, o dbOptions, du *durable) (*Database, error) {
 		}
 	}
 	if !o.noWAL {
-		du.ws = newWalSet(dir, n, wal.Options{Policy: o.policy}, d.store.Dict())
+		du.ws = newWalSet(dir, n, wal.Options{Policy: o.policy, Metrics: &d.walTele}, d.store.Dict())
 		d.store.SetJournal(du.ws)
 	}
 	// First checkpoint: rotation creates the generation-1 logs, segments
@@ -343,7 +343,7 @@ func recover_(dir string, o dbOptions, du *durable, man *manifest) (*Database, e
 
 	d := &Database{store: store, shardN: n, dur: du, epoch: man.Epoch}
 	if !o.noWAL {
-		du.ws = newWalSet(dir, n, wal.Options{Policy: o.policy}, dict)
+		du.ws = newWalSet(dir, n, wal.Options{Policy: o.policy, Metrics: &d.walTele}, dict)
 	}
 	nextGen := maxGen + 1
 	if replayed.Load() > 0 || n != man.Shards {

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ScanBatch is the entry-major counterpart of Scan for multi-query
@@ -31,6 +32,10 @@ import (
 func ScanBatch[T any](ctx context.Context, n, q int, opt Options, process func(pos int, out []T) error, emit func(pos int, out []T) bool) (int, error) {
 	if n <= 0 || q <= 0 {
 		return 0, ctx.Err()
+	}
+	if opt.Observe != nil {
+		start := time.Now()
+		defer func() { opt.Observe(time.Since(start)) }()
 	}
 	workers := opt.Workers
 	if workers <= 0 {

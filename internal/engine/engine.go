@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Options tunes one scan.
@@ -21,6 +22,11 @@ type Options struct {
 	// (≤ 0: 16). Larger chunks amortise the claim for cheap per-item
 	// work; smaller chunks balance skewed workloads.
 	Chunk int
+	// Observe, when non-nil, receives the scan's wall-clock duration
+	// (claim to pool drain) exactly once as Scan/ScanBatch returns —
+	// the telemetry hook for scan-stage timing. Empty scans (n ≤ 0)
+	// are not observed.
+	Observe func(d time.Duration)
 }
 
 // DefaultChunk is the work-claim granularity when Options.Chunk is unset.
@@ -38,6 +44,10 @@ const DefaultChunk = 16
 func Scan[T any](ctx context.Context, n int, opt Options, process func(pos int) (T, bool, error), emit func(pos int, item T) bool) (int, error) {
 	if n <= 0 {
 		return 0, ctx.Err()
+	}
+	if opt.Observe != nil {
+		start := time.Now()
+		defer func() { opt.Observe(time.Since(start)) }()
 	}
 	workers := opt.Workers
 	if workers <= 0 {

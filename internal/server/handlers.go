@@ -42,19 +42,38 @@ func bodyStatus(err error, fallback int) int {
 // "off" when the server runs without a cache.
 const cacheHeader = "X-Gsim-Cache"
 
+// traced reports whether the request asked for the per-stage trace echo
+// (?debug=trace). Traced requests run the fine per-entry stage split,
+// bypass the result cache (their body carries a stages block a cached
+// copy must not serve to untraced callers — and tracing a cached hit
+// would time nothing) and report the breakdown in the response.
+func traced(r *http.Request) bool {
+	return r.URL.Query().Get("debug") == "trace"
+}
+
 // cached wraps the render step of a cacheable endpoint. On a hit the
 // stored body is served verbatim; on a miss render runs and its body is
 // stored under the epoch the search actually snapshotted (render returns
 // it), so a result computed while a mutation raced the request is stored
 // under the post-mutation epoch — the response's epoch label, the cache
 // version and the scanned snapshot always agree. With caching disabled
-// the key is never even computed (keyFn is lazy).
-func (s *Server) cached(w http.ResponseWriter, keyFn func() string, render func() ([]byte, uint64, int, error)) {
+// the key is never even computed (keyFn is lazy). bypass skips the cache
+// in both directions (the ?debug=trace path). The outcome lands in the
+// response header and the request's reqInfo, which feeds the
+// hit-vs-miss latency split (see instrument).
+func (s *Server) cached(w http.ResponseWriter, r *http.Request, bypass bool, keyFn func() string, render func() ([]byte, uint64, int, error)) {
+	ri := info(r)
+	note := func(outcome string) {
+		w.Header().Set(cacheHeader, outcome)
+		if ri != nil && outcome != "bypass" {
+			ri.cache = outcome
+		}
+	}
 	var key string
-	if s.cache.Enabled() {
+	if s.cache.Enabled() && !bypass {
 		key = keyFn()
 		if body, ok := s.cache.Get(s.db.Epoch(), key); ok {
-			w.Header().Set(cacheHeader, "hit")
+			note("hit")
 			writeJSONBytes(w, http.StatusOK, body)
 			return
 		}
@@ -64,13 +83,26 @@ func (s *Server) cached(w http.ResponseWriter, keyFn func() string, render func(
 		writeError(w, status, err)
 		return
 	}
-	if s.cache.Enabled() {
+	switch {
+	case bypass:
+		note("bypass")
+	case s.cache.Enabled():
 		s.cache.Put(epoch, key, body)
-		w.Header().Set(cacheHeader, "miss")
-	} else {
-		w.Header().Set(cacheHeader, "off")
+		note("miss")
+	default:
+		note("off")
 	}
 	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// noteResult stashes a search outcome on the request's reqInfo for the
+// slow-query log.
+func noteResult(r *http.Request, stages *gsim.StageStats, scanned, matched int) {
+	if ri := info(r); ri != nil {
+		ri.stages = stages
+		ri.scanned = scanned
+		ri.matched = matched
+	}
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -84,8 +116,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	opt.Trace = traced(r)
 	keyFn := func() string { return fingerprint("search", echo, []wireGraph{req.Graph}) }
-	s.cached(w, keyFn, func() ([]byte, uint64, int, error) {
+	s.cached(w, r, opt.Trace, keyFn, func() ([]byte, uint64, int, error) {
 		q, err := s.buildQuery(req.Graph)
 		if err != nil {
 			return nil, 0, http.StatusBadRequest, err
@@ -94,6 +127,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, 0, searchStatus(err), err
 		}
+		noteResult(r, &res.Stages, res.Scanned, len(res.Matches))
 		body, err := json.Marshal(toResponse(res, echo))
 		if err != nil {
 			return nil, 0, http.StatusInternalServerError, err
@@ -113,8 +147,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	opt.Trace = traced(r)
 	keyFn := func() string { return fingerprint("topk", echo, []wireGraph{req.Graph}) }
-	s.cached(w, keyFn, func() ([]byte, uint64, int, error) {
+	s.cached(w, r, opt.Trace, keyFn, func() ([]byte, uint64, int, error) {
 		q, err := s.buildQuery(req.Graph)
 		if err != nil {
 			return nil, 0, http.StatusBadRequest, err
@@ -123,6 +158,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, 0, searchStatus(err), err
 		}
+		noteResult(r, &res.Stages, res.Scanned, len(res.Matches))
 		body, err := json.Marshal(toResponse(res, echo))
 		if err != nil {
 			return nil, 0, http.StatusInternalServerError, err
@@ -151,8 +187,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	opt.Trace = traced(r)
 	keyFn := func() string { return fingerprint("batch", echo, req.Graphs) }
-	s.cached(w, keyFn, func() ([]byte, uint64, int, error) {
+	s.cached(w, r, opt.Trace, keyFn, func() ([]byte, uint64, int, error) {
 		queries := make([]*gsim.Query, len(req.Graphs))
 		for i, wg := range req.Graphs {
 			q, err := s.buildQuery(wg)
@@ -165,6 +202,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, 0, searchStatus(err), err
 		}
+		matched := 0
+		for _, res := range results {
+			matched += len(res.Matches)
+		}
+		// The stage breakdown is the batch's shared scan, identical on
+		// every Result.
+		noteResult(r, &results[0].Stages, results[0].Scanned, matched)
 		resp := batchResponse{Epoch: results[0].Epoch, Results: make([]searchResponse, len(results))}
 		for i, res := range results {
 			resp.Results[i] = toResponse(res, echo)
@@ -179,10 +223,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleStream answers a threshold query as NDJSON: one match per line as
 // the scan produces it (unordered, backed by SearchStream), then one
-// trailer record with done/scanned/elapsed. Errors before the first match
-// are proper HTTP errors; errors mid-stream arrive in the trailer, since
-// the 200 header is already on the wire. A client closing the connection
-// cancels the scan through the request context.
+// trailer record reporting how the scan went: done, entries scanned,
+// matches, elapsed wall time, the snapshot epoch and the prefilter's
+// prune count — the same telemetry a unary search reports, so a
+// streaming client is not blind to scan cost. With ?debug=trace the
+// trailer additionally carries the per-stage breakdown. Errors before
+// the first match are proper HTTP errors; errors mid-stream arrive in
+// the trailer, since the 200 header is already on the wire. A client
+// closing the connection cancels the scan through the request context.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if err := decode(r, &req); err != nil {
@@ -194,6 +242,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	opt.Trace = traced(r)
 	q, err := s.buildQuery(req.Graph)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -204,7 +253,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	wrote := false
 	matches := 0
-	scanned, err := s.db.SearchStream(r.Context(), q, opt, func(m gsim.Match) bool {
+	st, err := s.db.SearchStreamStats(r.Context(), q, opt, func(m gsim.Match) bool {
 		if !wrote {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.WriteHeader(http.StatusOK)
@@ -227,11 +276,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.WriteHeader(http.StatusOK)
 	}
+	noteResult(r, &st.Stages, st.Scanned, matches)
 	trailer := streamTrailer{
 		Done:      err == nil,
-		Scanned:   scanned,
+		Scanned:   st.Scanned,
 		Matches:   matches,
+		Pruned:    st.Stages.Pruned,
+		Epoch:     st.Epoch,
 		ElapsedNS: time.Since(start).Nanoseconds(),
+		Stages:    toWireStages(st.Stages),
 	}
 	if err != nil {
 		trailer.Error = err.Error()

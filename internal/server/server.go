@@ -17,7 +17,10 @@
 //	POST   /v1/admin/checkpoint  force a snapshot + WAL truncation (409
 //	                        when the database is in-memory)
 //	GET    /v1/stats        database, prior, cache, persistence and
-//	                        server counters
+//	                        server counters, plus latency/stage/runtime
+//	                        telemetry summaries
+//	GET    /metrics         Prometheus text exposition of the same
+//	                        telemetry (Config.DisableMetrics removes it)
 //	GET    /healthz         liveness
 //
 // Graph IDs are stable handles: ingest responses list them, search
@@ -43,6 +46,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"log"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -50,6 +54,7 @@ import (
 	"gsim"
 	"gsim/internal/branch"
 	"gsim/internal/qcache"
+	"gsim/internal/telemetry"
 )
 
 // Config parameterises New.
@@ -70,6 +75,15 @@ type Config struct {
 	// MaxBatch caps the number of graphs per /v1/batch and /v1/graphs
 	// JSON request (default 1024).
 	MaxBatch int
+	// SlowQuery logs any request at or over this duration with its stage
+	// breakdown (0 disables the slow-query log).
+	SlowQuery time.Duration
+	// Logger receives slow-query lines (nil: the standard logger).
+	Logger *log.Logger
+	// DisableMetrics removes the GET /metrics Prometheus endpoint from
+	// the route table; telemetry is still recorded and served by
+	// /v1/stats.
+	DisableMetrics bool
 }
 
 // Server serves one database over HTTP. Construct with New; all methods
@@ -82,6 +96,7 @@ type Server struct {
 	start time.Time
 
 	requests atomic.Uint64 // served requests, all endpoints
+	metrics  httpMetrics   // per-endpoint latency, status classes, in-flight
 }
 
 // New returns a server over cfg.DB.
@@ -101,30 +116,24 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the route table. The mux is rebuilt per call; callers
-// keep one.
+// keep one. Every route runs under instrument (see metrics.go): request
+// ID, per-endpoint latency histogram, status-class counters, in-flight
+// gauge and the slow-query log.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/search", s.counted(post(s.handleSearch)))
-	mux.HandleFunc("/v1/topk", s.counted(post(s.handleTopK)))
-	mux.HandleFunc("/v1/batch", s.counted(post(s.handleBatch)))
-	mux.HandleFunc("/v1/stream", s.counted(post(s.handleStream)))
-	mux.HandleFunc("/v1/graphs", s.counted(post(s.handleIngest)))
-	mux.HandleFunc("DELETE /v1/graphs/{id}", s.counted(s.handleDelete))
-	mux.HandleFunc("/v1/admin/checkpoint", s.counted(post(s.handleCheckpoint)))
-	mux.HandleFunc("/v1/stats", s.counted(get(s.handleStats)))
-	mux.HandleFunc("/healthz", s.counted(get(s.handleHealthz)))
-	return mux
-}
-
-// counted wraps a handler with the request counter and the body cap.
-func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
-		if r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		}
-		h(w, r)
+	mux.HandleFunc("/v1/search", s.instrument(epSearch, post(s.handleSearch)))
+	mux.HandleFunc("/v1/topk", s.instrument(epTopK, post(s.handleTopK)))
+	mux.HandleFunc("/v1/batch", s.instrument(epBatch, post(s.handleBatch)))
+	mux.HandleFunc("/v1/stream", s.instrument(epStream, post(s.handleStream)))
+	mux.HandleFunc("/v1/graphs", s.instrument(epGraphs, post(s.handleIngest)))
+	mux.HandleFunc("DELETE /v1/graphs/{id}", s.instrument(epDelete, s.handleDelete))
+	mux.HandleFunc("/v1/admin/checkpoint", s.instrument(epCheckpoint, post(s.handleCheckpoint)))
+	mux.HandleFunc("/v1/stats", s.instrument(epStats, get(s.handleStats)))
+	if !s.cfg.DisableMetrics {
+		mux.HandleFunc("/metrics", s.instrument(epMetrics, get(s.handleMetrics)))
 	}
+	mux.HandleFunc("/healthz", s.instrument(epHealthz, get(s.handleHealthz)))
+	return mux
 }
 
 // post admits only POST requests.
@@ -194,6 +203,15 @@ type statsResponse struct {
 	Epoch       uint64         `json:"epoch"`
 	Cache       cacheStats     `json:"cache"`
 	Server      serverCounts   `json:"server"`
+	// Latency summarises per-endpoint request latency (endpoints that
+	// have served at least one request), plus the cacheable endpoints'
+	// hit/miss split under "cache_hit"/"cache_miss".
+	Latency map[string]latencySummary `json:"latency"`
+	// Stages carries the database's cumulative search telemetry: the
+	// whole-search counters and a latency summary per pipeline stage.
+	Stages stageBlock `json:"stages"`
+	// Runtime carries process health: goroutines, heap and GC.
+	Runtime runtimeBlock `json:"runtime"`
 }
 
 // persistStats surfaces the durability layer: WAL pressure (bytes and
@@ -286,8 +304,10 @@ type cacheStats struct {
 }
 
 type serverCounts struct {
-	Requests uint64 `json:"requests"`
-	UptimeMS int64  `json:"uptime_ms"`
+	Requests    uint64 `json:"requests"`
+	InFlight    int64  `json:"in_flight"`
+	SlowQueries uint64 `json:"slow_queries"`
+	UptimeMS    int64  `json:"uptime_ms"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -356,10 +376,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Invalidations: cs.Invalidations,
 		},
 		Server: serverCounts{
-			Requests: s.requests.Load(),
-			UptimeMS: time.Since(s.start).Milliseconds(),
+			Requests:    s.requests.Load(),
+			InFlight:    s.metrics.inFlight.Load(),
+			SlowQueries: s.metrics.slowQueries.Load(),
+			UptimeMS:    time.Since(s.start).Milliseconds(),
 		},
 	}
+	// One 15 KiB snapshot buffer serves every histogram digest of this
+	// render.
+	buf := &telemetry.Snapshot{}
+	resp.Latency = s.latencyBlock(buf)
+	resp.Stages = s.stagesBlock(buf)
+	resp.Runtime = runtimeStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -75,6 +75,40 @@ type searchResponse struct {
 	Scanned   int         `json:"scanned"`
 	ElapsedNS int64       `json:"elapsed_ns"`
 	Matches   []wireMatch `json:"matches"`
+	// Stages echoes the per-stage breakdown for ?debug=trace requests
+	// (absent otherwise, so cached bodies stay trace-free).
+	Stages *wireStages `json:"stages,omitempty"`
+}
+
+// wireStages is the JSON form of a search's stage breakdown (see
+// gsim.StageStats). Durations are nanoseconds; prefilter/score are the
+// traced per-entry split, summed across scan workers.
+type wireStages struct {
+	PrepareNS   int64 `json:"prepare_ns"`
+	CutNS       int64 `json:"cut_ns"`
+	ScanNS      int64 `json:"scan_ns"`
+	MergeNS     int64 `json:"merge_ns"`
+	PrefilterNS int64 `json:"prefilter_ns"`
+	ScoreNS     int64 `json:"score_ns"`
+	Pruned      int   `json:"pruned"`
+}
+
+// toWireStages renders a traced breakdown, or nil for an untraced
+// search (the coarse spans still exist, but responses only echo stages
+// when the caller asked for the trace).
+func toWireStages(st gsim.StageStats) *wireStages {
+	if !st.Traced {
+		return nil
+	}
+	return &wireStages{
+		PrepareNS:   st.PrepareNS,
+		CutNS:       st.CutNS,
+		ScanNS:      st.ScanNS,
+		MergeNS:     st.MergeNS,
+		PrefilterNS: st.PrefilterNS,
+		ScoreNS:     st.ScoreNS,
+		Pruned:      st.Pruned,
+	}
 }
 
 // batchResponse is the /v1/batch body: one result per input graph, in
@@ -91,8 +125,12 @@ type streamTrailer struct {
 	Done      bool   `json:"done"`
 	Scanned   int    `json:"scanned"`
 	Matches   int    `json:"matches"`
+	Pruned    int    `json:"pruned"`
+	Epoch     uint64 `json:"epoch"`
 	ElapsedNS int64  `json:"elapsed_ns"`
-	Error     string `json:"error,omitempty"`
+	// Stages is the per-stage breakdown, present for ?debug=trace.
+	Stages *wireStages `json:"stages,omitempty"`
+	Error  string      `json:"error,omitempty"`
 }
 
 // ingestResponse is the /v1/graphs (POST) body. IDs lists the graph ID of
@@ -336,5 +374,6 @@ func toResponse(res *gsim.Result, echo wireOptions) searchResponse {
 		Scanned:   res.Scanned,
 		ElapsedNS: res.Elapsed.Nanoseconds(),
 		Matches:   matches,
+		Stages:    toWireStages(res.Stages),
 	}
 }

@@ -53,11 +53,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gsim/internal/branch"
 	"gsim/internal/db"
 	"gsim/internal/graph"
 	"gsim/internal/index"
+	"gsim/internal/telemetry"
 	"gsim/internal/wal"
 )
 
@@ -97,6 +99,23 @@ type Map struct {
 	gepoch  atomic.Uint64 // global epoch: one advance per mutation batch
 
 	sizes atomic.Pointer[sizesCache] // memoised DistinctSizes per epoch
+
+	// tele holds the store's telemetry: mutation-latency histograms per
+	// op kind plus per-shard scanned/pruned/mutation counters (the scan
+	// side is attributed by the search layer, which knows the scan's
+	// projection). Owned here so a snapshot swap starts counters fresh
+	// with the store they describe.
+	tele *telemetry.StoreMetrics
+}
+
+// Telemetry returns the store's metric group (never nil).
+func (m *Map) Telemetry() *telemetry.StoreMetrics { return m.tele }
+
+// observeMut records one applied mutation: end-to-end latency (journal
+// wait included) into the op histogram, one tick on the owning shard.
+func (m *Map) observeMut(op telemetry.MutOp, id uint64, start time.Time) {
+	m.tele.Mut[op].Observe(time.Since(start))
+	m.tele.Shards[m.ShardIndex(id)].Mutations.Add(1)
 }
 
 // sizesCache is one epoch's merged distinct-size list.
@@ -206,7 +225,7 @@ func New(name string, n int) *Map {
 // then the store is rebuilt into it.
 func NewWithDictionaries(name string, n int, dict *graph.Labels, bdict *db.BranchDict) *Map {
 	n = Shards(n)
-	m := &Map{name: name, dict: dict, bdict: bdict, shards: make([]*bucket, n)}
+	m := &Map{name: name, dict: dict, bdict: bdict, shards: make([]*bucket, n), tele: telemetry.NewStoreMetrics(n)}
 	for i := range m.shards {
 		m.shards[i] = &bucket{slots: make(map[uint64]int), st: newStats()}
 	}
@@ -358,6 +377,7 @@ func (m *Map) bump(b *bucket) {
 // applied (append failed) or applied but of unknown durability (wait
 // failed, which poisons the journal for every later mutation anyway).
 func (m *Map) Add(g *graph.Graph) (uint64, error) {
+	start := time.Now()
 	ids := m.intern(g)
 	id := m.seq.Add(1) - 1
 	e := &db.Entry{ID: id, G: g, Branches: ids}
@@ -372,7 +392,9 @@ func (m *Map) Add(g *graph.Graph) (uint64, error) {
 	b.insert(e)
 	m.bump(b)
 	b.mu.Unlock()
-	return id, m.jwait(tok)
+	err = m.jwait(tok)
+	m.observeMut(telemetry.OpAdd, id, start)
+	return id, err
 }
 
 // jappend journals one record for the shard owning id; the caller holds
@@ -399,6 +421,7 @@ func (m *Map) jwait(tok Token) error {
 // the ID existed. The next consistent cut — and therefore the next
 // search — no longer sees the graph.
 func (m *Map) Delete(id uint64) (bool, error) {
+	start := time.Now()
 	b := m.shardOf(id)
 	b.mu.Lock()
 	slot, ok := b.slots[id]
@@ -418,13 +441,16 @@ func (m *Map) Delete(id uint64) (bool, error) {
 	m.bump(b)
 	b.mu.Unlock()
 	m.bdict.Release(e.Branches)
-	return true, m.jwait(tok)
+	err = m.jwait(tok)
+	m.observeMut(telemetry.OpDelete, id, start)
+	return true, err
 }
 
 // Update replaces the graph stored under id with g, keeping the ID (and
 // therefore the shard). It reports whether the ID existed; when it does
 // not, nothing is interned or released.
 func (m *Map) Update(id uint64, g *graph.Graph) (bool, error) {
+	start := time.Now()
 	b := m.shardOf(id)
 	b.mu.Lock()
 	slot, ok := b.slots[id]
@@ -446,7 +472,9 @@ func (m *Map) Update(id uint64, g *graph.Graph) (bool, error) {
 	m.bump(b)
 	b.mu.Unlock()
 	m.bdict.Release(old.Branches)
-	return true, m.jwait(tok)
+	err = m.jwait(tok)
+	m.observeMut(telemetry.OpUpdate, id, start)
+	return true, err
 }
 
 // fixMaxima recomputes the shard's high-water marks exactly over the
@@ -487,6 +515,7 @@ type Mutation struct {
 // batch, which recovery replays (the none-or-all contract binds live
 // observers, acknowledgement still implies the whole batch survived).
 func (m *Map) Commit(batch []Mutation) (firstID uint64, missing uint64, ok bool, err error) {
+	start := time.Now()
 	firstID, missing, ok, toks, err := m.commitLocked(batch)
 	if err != nil || !ok {
 		return firstID, missing, ok, err
@@ -495,6 +524,17 @@ func (m *Map) Commit(batch []Mutation) (firstID uint64, missing uint64, ok bool,
 		if werr := m.journal.Wait(Token{Seq: seq, H: h}); werr != nil {
 			return firstID, 0, true, werr
 		}
+	}
+	m.tele.Mut[telemetry.OpCommit].Observe(time.Since(start))
+	next := firstID
+	for _, mu := range batch {
+		id := next
+		if mu.ID != nil {
+			id = *mu.ID
+		} else {
+			next++
+		}
+		m.tele.Shards[m.ShardIndex(id)].Mutations.Add(1)
 	}
 	return firstID, 0, true, nil
 }

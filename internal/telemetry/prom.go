@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+)
+
+// Minimal Prometheus text-format (version 0.0.4) rendering. The
+// exposition layer deliberately avoids a client-library dependency:
+// the format is four line shapes, and writing it directly keeps the
+// scrape path allocation-light and the module dependency-free.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteHeader writes the # HELP / # TYPE preamble for a metric family.
+// typ is "counter", "gauge" or "histogram".
+func WriteHeader(w io.Writer, name, typ, help string) {
+	io.WriteString(w, "# HELP ")
+	io.WriteString(w, name)
+	io.WriteString(w, " ")
+	io.WriteString(w, help)
+	io.WriteString(w, "\n# TYPE ")
+	io.WriteString(w, name)
+	io.WriteString(w, " ")
+	io.WriteString(w, typ)
+	io.WriteString(w, "\n")
+}
+
+// writeLabeled writes `name{labels} value\n` (or `name value\n` when
+// labels is empty). extra is appended inside the braces after labels.
+func writeLabeled(w io.Writer, name, labels, extra, value string) {
+	io.WriteString(w, name)
+	if labels != "" || extra != "" {
+		io.WriteString(w, "{")
+		io.WriteString(w, labels)
+		if labels != "" && extra != "" {
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, extra)
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, value)
+	io.WriteString(w, "\n")
+}
+
+// WriteCounter writes one counter sample. labels is a preformatted
+// label list without braces (`endpoint="/v1/search"`), or "".
+func WriteCounter(w io.Writer, name, labels string, v uint64) {
+	writeLabeled(w, name, labels, "", strconv.FormatUint(v, 10))
+}
+
+// WriteGauge writes one gauge sample.
+func WriteGauge(w io.Writer, name, labels string, v float64) {
+	writeLabeled(w, name, labels, "", strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// WriteProm renders the snapshot as a Prometheus histogram in seconds:
+// cumulative `_bucket` samples (only at buckets that hold observations,
+// plus the mandatory +Inf), then `_sum` and `_count`. Bucket `le`
+// bounds are the scheme's inclusive upper bounds converted to seconds,
+// so a scraper reconstructs quantiles with the same ~3% resolution the
+// native Quantile offers.
+func (s *Snapshot) WriteProm(w io.Writer, name, labels string) {
+	var cum uint64
+	for i := range s.Buckets {
+		n := s.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		_, hi := BucketBounds(i)
+		le := strconv.FormatFloat(float64(hi)/1e9, 'g', -1, 64)
+		writeLabeled(w, name+"_bucket", labels, `le="`+le+`"`, strconv.FormatUint(cum, 10))
+	}
+	writeLabeled(w, name+"_bucket", labels, `le="+Inf"`, strconv.FormatUint(cum, 10))
+	writeLabeled(w, name+"_sum", labels, "", strconv.FormatFloat(float64(s.SumNS)/1e9, 'g', -1, 64))
+	writeLabeled(w, name+"_count", labels, "", strconv.FormatUint(cum, 10))
+}

@@ -55,6 +55,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"gsim/internal/telemetry"
 )
 
 // Policy selects when committed records reach stable storage.
@@ -104,6 +106,12 @@ type Options struct {
 	Policy Policy
 	// Interval is the FsyncInterval flush cadence (default 50ms).
 	Interval time.Duration
+	// Metrics, when non-nil, receives the writer's durability timings:
+	// Append framing, leader write+fsync batches, and group-commit
+	// waits. A database shares one instance across its per-shard
+	// writers (and across checkpoint rotations), so the histograms
+	// describe the whole log set.
+	Metrics *telemetry.WALMetrics
 }
 
 // ErrClosed reports an append or commit against a closed writer.
@@ -213,6 +221,10 @@ func (w *Writer) Append(payload []byte) (uint64, error) {
 	if len(payload) > maxRecordBytes {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds the %d limit", len(payload), maxRecordBytes)
 	}
+	if w.opts.Metrics != nil {
+		start := time.Now()
+		defer func() { w.opts.Metrics.Append.Observe(time.Since(start)) }()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
@@ -248,6 +260,10 @@ func (w *Writer) Commit(seq uint64) error {
 			return nil
 		}
 		return w.err // nil unless the writer is poisoned
+	}
+	if w.opts.Metrics != nil {
+		start := time.Now()
+		defer func() { w.opts.Metrics.Wait.Observe(time.Since(start)) }()
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -300,11 +316,15 @@ func (w *Writer) flushLocked(fsync bool) {
 	target := w.seq
 	w.mu.Unlock()
 	var err error
+	flushStart := time.Now()
 	if len(buf) > 0 {
 		_, err = w.f.Write(buf)
 	}
 	if err == nil && fsync {
 		err = w.f.Sync()
+	}
+	if fsync && w.opts.Metrics != nil {
+		w.opts.Metrics.Fsync.Observe(time.Since(flushStart))
 	}
 	w.mu.Lock()
 	w.syncing = false

@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gsim/internal/db"
 	"gsim/internal/engine"
 	"gsim/internal/index"
 	"gsim/internal/method"
+	"gsim/internal/shard"
+	"gsim/internal/telemetry"
 )
 
 // Method selects the similarity-search algorithm. Each method is a
@@ -117,6 +120,15 @@ type SearchOptions struct {
 	// natively shares per-entry work across queries. Single-query
 	// searches ignore it.
 	BatchStrategy BatchStrategy
+	// Trace enables the fine-grained stage split for this search: the
+	// scan's per-entry prefilter and scoring work is timed individually
+	// (two clock samples per scanned entry) and reported in
+	// Result.Stages alongside the coarse stages, which are recorded for
+	// every search from a handful of clock reads per request. Meant for
+	// diagnosing individual queries (the serving layer's ?debug=trace),
+	// not steady-state traffic — the per-entry sampling is the one
+	// telemetry cost too large to leave on unconditionally.
+	Trace bool
 }
 
 func (o SearchOptions) withDefaults() SearchOptions {
@@ -198,6 +210,36 @@ type Result struct {
 	// the search scanned — the version a cached copy of this result is
 	// valid for.
 	Epoch uint64
+	// Stages is the per-stage timing breakdown of this query. The
+	// coarse spans (prepare, cut, scan, merge) are always populated;
+	// the prefilter/score split only with SearchOptions.Trace.
+	Stages StageStats
+}
+
+// StageStats breaks one search down by pipeline stage. All durations
+// are nanoseconds. For batch searches the prepare/cut spans are the
+// batch's shared preparation (reported identically on every Result) and
+// the scan span is the shared scan.
+type StageStats struct {
+	// PrepareNS covers validation, the consistent cut and scorer
+	// preparation (CutNS is the cut sub-span within it).
+	PrepareNS int64
+	CutNS     int64
+	// ScanNS is the parallel scan's wall time: prefilter plus scoring,
+	// as executed by the engine worker pool.
+	ScanNS  int64
+	MergeNS int64
+	// PrefilterNS and ScoreNS split the scan's per-entry work; only
+	// recorded when Traced (they are summed CPU time across workers,
+	// so they can exceed ScanNS wall time on multi-core scans).
+	PrefilterNS int64
+	ScoreNS     int64
+	// Pruned counts entries the admissible prefilter discarded before
+	// scoring ((entry, query) pairs for a batch).
+	Pruned int
+	// Traced reports whether the fine per-entry split above was
+	// recorded.
+	Traced bool
 }
 
 // Indexes returns the matched collection indexes, sorted ascending.
@@ -234,8 +276,79 @@ type preparedSearch struct {
 	bdict   *db.BranchDict // branch dictionary queries resolve against (IDs are never reused, so resolving after prepare can only miss deleted entries, never mis-match)
 	epoch   uint64         // database epoch the cut corresponds to
 
+	// Telemetry plumbing: the database's stage histograms, the store's
+	// per-shard counters (with the Map for ID→shard attribution), the
+	// projection's per-shard span lengths (nil for an active subset),
+	// and the prepare/cut spans this preparation cost.
+	tele          *telemetry.SearchMetrics
+	stele         *telemetry.StoreMetrics
+	smap          *shard.Map
+	lens          []int
+	prepNS, cutNS int64
+
 	orderedOnce sync.Once
 	orderedSet  []*db.Entry // scan set in output order; built on demand
+}
+
+// traceAcc accumulates one scan's trace state: the scan wall span, the
+// pruned count (always on — the prune branch skips scoring, so one
+// atomic add there is off the scoring hot path), and with deep tracing
+// the per-entry prefilter/score split.
+type traceAcc struct {
+	deep        bool
+	scanNS      int64 // written once by the engine's Observe hook
+	pruned      atomic.Int64
+	prefilterNS atomic.Int64 // deep only: summed across workers
+	scoreNS     atomic.Int64 // deep only
+}
+
+// notePruned counts one prefilter discard, attributed to the owning
+// shard.
+func (ps *preparedSearch) notePruned(tr *traceAcc, e *db.Entry) {
+	tr.pruned.Add(1)
+	if ps.stele != nil {
+		ps.stele.Shards[ps.smap.ShardIndex(e.ID)].Pruned.Add(1)
+	}
+}
+
+// record folds one completed scan into the database's metric group and
+// returns the query's stage breakdown. searches is the number of
+// queries the scan answered (1, or the batch width); mergeNS the
+// post-scan ordering span.
+func (ps *preparedSearch) record(tr *traceAcc, scanned, searches, matched int, mergeNS int64) StageStats {
+	t := ps.tele
+	pruned := tr.pruned.Load()
+	if t != nil {
+		t.Searches.Add(uint64(searches))
+		t.Scanned.Add(uint64(scanned))
+		t.Pruned.Add(uint64(pruned))
+		t.Matched.Add(uint64(matched))
+		t.Stage[telemetry.StageScan].RecordNS(tr.scanNS)
+		t.Stage[telemetry.StageMerge].RecordNS(mergeNS)
+		if tr.deep {
+			t.Stage[telemetry.StagePrefilter].RecordNS(tr.prefilterNS.Load())
+			t.Stage[telemetry.StageScore].RecordNS(tr.scoreNS.Load())
+		}
+	}
+	// Attribute per-shard scanned counts from the projection's span
+	// lengths — O(shards) once per scan instead of one atomic per
+	// entry. Only exact for completed full scans; early-stopped scans
+	// and active subsets are skipped rather than guessed.
+	if ps.stele != nil && ps.lens != nil && scanned == len(ps.entries) {
+		for i, n := range ps.lens {
+			ps.stele.Shards[i].Scanned.Add(uint64(n))
+		}
+	}
+	return StageStats{
+		PrepareNS:   ps.prepNS,
+		CutNS:       ps.cutNS,
+		ScanNS:      tr.scanNS,
+		MergeNS:     mergeNS,
+		PrefilterNS: tr.prefilterNS.Load(),
+		ScoreNS:     tr.scoreNS.Load(),
+		Pruned:      int(pruned),
+		Traced:      tr.deep,
+	}
 }
 
 // key returns the output-order key of flat position pos.
@@ -252,6 +365,7 @@ func (ps *preparedSearch) key(pos int) int {
 // per-shard ingest) while preparing; the scan itself runs lock-free
 // against the cut.
 func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
+	start := time.Now()
 	opt = opt.withDefaults()
 	info, ok := method.Lookup(method.ID(opt.Method))
 	if !ok {
@@ -266,7 +380,9 @@ func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 	scorer := info.New()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	cutStart := time.Now()
 	proj := d.projection(opt.Prefilter)
+	cutNS := int64(time.Since(cutStart))
 	ps := &preparedSearch{
 		opt:     opt,
 		info:    info,
@@ -275,6 +391,11 @@ func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 		byPos:   d.active != nil,
 		bdict:   d.store.BranchDict(),
 		epoch:   d.epoch + proj.epoch,
+		tele:    &d.tele,
+		stele:   d.store.Telemetry(),
+		smap:    d.store,
+		lens:    proj.lens,
+		cutNS:   cutNS,
 	}
 	if opt.Prefilter {
 		ps.pre = proj.pre
@@ -291,6 +412,9 @@ func (d *Database) prepare(opt SearchOptions) (*preparedSearch, error) {
 	if err := scorer.Prepare(mdb, opt.methodOptions()); err != nil {
 		return nil, err
 	}
+	ps.prepNS = int64(time.Since(start))
+	d.tele.Stage[telemetry.StagePrepare].RecordNS(ps.prepNS)
+	d.tele.Stage[telemetry.StageCut].RecordNS(ps.cutNS)
 	return ps, nil
 }
 
@@ -323,8 +447,10 @@ func (d *Database) projection(withPre bool) *projection {
 	}
 	if d.active == nil {
 		n := 0
-		for _, v := range views {
+		p.lens = make([]int, len(views))
+		for i, v := range views {
 			n += len(v.Entries)
+			p.lens[i] = len(v.Entries)
 		}
 		p.entries = make([]*db.Entry, 0, n)
 		for _, v := range views {
@@ -384,9 +510,9 @@ func (ps *preparedSearch) ordered() []*db.Entry {
 }
 
 // stream scans the flat cut for one query, feeding every kept match to
-// emit (serialised, position-tagged, unordered). It returns the number
-// of graphs examined.
-func (ps *preparedSearch) stream(ctx context.Context, q *Query, emit func(pos int, m Match) bool) (int, error) {
+// emit (serialised, position-tagged, unordered) and accumulating trace
+// state into tr (required). It returns the number of graphs examined.
+func (ps *preparedSearch) stream(ctx context.Context, q *Query, tr *traceAcc, emit func(pos int, m Match) bool) (int, error) {
 	// Resolve the query's key-form multiset into interned IDs once per
 	// scan. Branch IDs are never reused (deletes retire them), so a
 	// resolution taken at-or-after prepare can never mis-match a snapshot
@@ -401,6 +527,7 @@ func (ps *preparedSearch) stream(ctx context.Context, q *Query, emit func(pos in
 	process := func(pos int) (Match, bool, error) {
 		e := ps.entries[pos]
 		if ps.opt.Prefilter && ps.pre.Prunable(&qp, qids, e, pos, ps.opt.Tau) {
+			ps.notePruned(tr, e)
 			return Match{}, false, nil
 		}
 		keep, score, err := ps.scorer.Score(mq, e)
@@ -409,7 +536,31 @@ func (ps *preparedSearch) stream(ctx context.Context, q *Query, emit func(pos in
 		}
 		return Match{Index: int(e.ID), Name: e.G.Name, Score: score}, keep, nil
 	}
-	return engine.Scan(ctx, len(ps.entries), engine.Options{Workers: ps.opt.Workers}, process, emit)
+	if tr.deep {
+		// Traced: sample the clock around each per-entry phase. The
+		// fast process above stays branch-free for the common case.
+		process = func(pos int) (Match, bool, error) {
+			e := ps.entries[pos]
+			if ps.opt.Prefilter {
+				t0 := time.Now()
+				pruned := ps.pre.Prunable(&qp, qids, e, pos, ps.opt.Tau)
+				tr.prefilterNS.Add(int64(time.Since(t0)))
+				if pruned {
+					ps.notePruned(tr, e)
+					return Match{}, false, nil
+				}
+			}
+			t0 := time.Now()
+			keep, score, err := ps.scorer.Score(mq, e)
+			tr.scoreNS.Add(int64(time.Since(t0)))
+			if err != nil {
+				return Match{}, false, err
+			}
+			return Match{Index: int(e.ID), Name: e.G.Name, Score: score}, keep, nil
+		}
+	}
+	opt := engine.Options{Workers: ps.opt.Workers, Observe: func(d time.Duration) { tr.scanNS = int64(d) }}
+	return engine.Scan(ctx, len(ps.entries), opt, process, emit)
 }
 
 // collect runs one query to completion and gathers matches in
@@ -421,24 +572,28 @@ func (ps *preparedSearch) collect(ctx context.Context, q *Query) (*Result, error
 		m   Match
 	}
 	var hits []hit
-	scanned, err := ps.stream(ctx, q, func(pos int, m Match) bool {
+	tr := &traceAcc{deep: ps.opt.Trace}
+	scanned, err := ps.stream(ctx, q, tr, func(pos int, m Match) bool {
 		hits = append(hits, hit{ps.key(pos), m})
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
+	mergeStart := time.Now()
 	sort.Slice(hits, func(a, b int) bool { return hits[a].key < hits[b].key })
 	matches := make([]Match, len(hits))
 	for i, h := range hits {
 		matches[i] = h.m
 	}
+	stages := ps.record(tr, scanned, 1, len(matches), int64(time.Since(mergeStart)))
 	return &Result{
 		Method:  ps.opt.Method,
 		Matches: matches,
 		Scanned: scanned,
 		Elapsed: time.Since(start),
 		Epoch:   ps.epoch,
+		Stages:  stages,
 	}, nil
 }
 
@@ -464,9 +619,36 @@ func (d *Database) SearchContext(ctx context.Context, q *Query, opt SearchOption
 // collecting consumers are built on. SearchStream returns the number of
 // graphs examined.
 func (d *Database) SearchStream(ctx context.Context, q *Query, opt SearchOptions, yield func(Match) bool) (int, error) {
+	st, err := d.SearchStreamStats(ctx, q, opt, yield)
+	return st.Scanned, err
+}
+
+// StreamStats is SearchStreamStats's summary of a streamed scan: the
+// same telemetry a unary Result carries, without materialised matches.
+type StreamStats struct {
+	Scanned int
+	Epoch   uint64
+	Stages  StageStats
+}
+
+// SearchStreamStats is SearchStream returning the full scan summary —
+// scanned count, snapshot epoch and stage breakdown — so streaming
+// consumers (the NDJSON endpoint's done-trailer) report the same
+// telemetry as unary searches.
+func (d *Database) SearchStreamStats(ctx context.Context, q *Query, opt SearchOptions, yield func(Match) bool) (StreamStats, error) {
 	ps, err := d.prepare(opt)
 	if err != nil {
-		return 0, err
+		return StreamStats{}, err
 	}
-	return ps.stream(ctx, q, func(_ int, m Match) bool { return yield(m) })
+	tr := &traceAcc{deep: ps.opt.Trace}
+	matched := 0
+	scanned, err := ps.stream(ctx, q, tr, func(_ int, m Match) bool {
+		matched++
+		return yield(m)
+	})
+	if err != nil {
+		return StreamStats{}, err
+	}
+	stages := ps.record(tr, scanned, 1, matched, 0)
+	return StreamStats{Scanned: scanned, Epoch: ps.epoch, Stages: stages}, nil
 }

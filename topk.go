@@ -28,6 +28,9 @@ type TopKOptions struct {
 	V2Weight float64
 	// BaselineMaxVertices guards the quadratic baselines as in Search.
 	BaselineMaxVertices int
+	// Trace enables the fine per-entry stage split as in
+	// SearchOptions.Trace.
+	Trace bool
 }
 
 // SearchTopK returns the K graphs most similar to q: by descending GBDA
@@ -80,7 +83,8 @@ func (d *Database) SearchTopKBatch(ctx context.Context, queries []*Query, opt To
 	for k := range heaps {
 		heaps[k] = &topKHeap{k: opt.K, ascending: info.Ascending}
 	}
-	scanned, err := ps.streamBatch(ctx, queries, bs, func(pos int, verdicts []method.Verdict) bool {
+	tr := &traceAcc{}
+	scanned, err := ps.streamBatch(ctx, queries, bs, tr, func(pos int, verdicts []method.Verdict) bool {
 		e := ps.entries[pos]
 		for k, v := range verdicts {
 			if v.Skip || !v.Keep {
@@ -94,6 +98,8 @@ func (d *Database) SearchTopKBatch(ctx context.Context, queries []*Query, opt To
 		return nil, err
 	}
 	elapsed := time.Since(start)
+	mergeStart := time.Now()
+	matched := 0
 	for k := range queries {
 		out[k] = &Result{
 			Method:  opt.Method,
@@ -102,6 +108,11 @@ func (d *Database) SearchTopKBatch(ctx context.Context, queries []*Query, opt To
 			Elapsed: elapsed,
 			Epoch:   ps.epoch,
 		}
+		matched += len(out[k].Matches)
+	}
+	stages := ps.record(tr, scanned, len(queries), matched, int64(time.Since(mergeStart)))
+	for k := range out {
+		out[k].Stages = stages
 	}
 	return out, nil
 }
@@ -130,6 +141,7 @@ func (d *Database) prepareTopK(opt *TopKOptions) (*preparedSearch, method.Info, 
 		V2Weight:            opt.V2Weight,
 		BaselineMaxVertices: opt.BaselineMaxVertices,
 		CollectAll:          true,
+		Trace:               opt.Trace,
 	})
 	if err != nil {
 		return nil, info, err
@@ -141,19 +153,24 @@ func (d *Database) prepareTopK(opt *TopKOptions) (*preparedSearch, method.Info, 
 func (ps *preparedSearch) topK(ctx context.Context, q *Query, k int, ascending bool) (*Result, error) {
 	start := time.Now()
 	h := &topKHeap{k: k, ascending: ascending}
-	scanned, err := ps.stream(ctx, q, func(_ int, m Match) bool {
+	tr := &traceAcc{deep: ps.opt.Trace}
+	scanned, err := ps.stream(ctx, q, tr, func(_ int, m Match) bool {
 		h.offer(m)
 		return true
 	})
 	if err != nil {
 		return nil, err
 	}
+	mergeStart := time.Now()
+	matches := h.ranked()
+	stages := ps.record(tr, scanned, 1, len(matches), int64(time.Since(mergeStart)))
 	return &Result{
 		Method:  ps.opt.Method,
-		Matches: h.ranked(),
+		Matches: matches,
 		Scanned: scanned,
 		Elapsed: time.Since(start),
 		Epoch:   ps.epoch,
+		Stages:  stages,
 	}, nil
 }
 
