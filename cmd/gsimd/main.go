@@ -43,9 +43,21 @@
 // are echoed, others generated) for correlation with the slow log.
 // -pprof exposes net/http/pprof on a separate,
 // opt-in listener (keep it on localhost or behind a firewall; profiles
-// leak internals), leaving the API listener free of debug handlers. The
-// server shuts down gracefully on SIGINT/SIGTERM: in-flight requests get
-// -drain to finish, then the listener closes.
+// leak internals), leaving the API listener free of debug handlers.
+//
+// Operational hardening: -timeout puts a context deadline on every work
+// request (a blown deadline cancels the scan and answers 504),
+// -max-inflight/-max-queue bound concurrent execution and shed excess
+// load with 429 + Retry-After, and a durability fault (failed fsync,
+// disk full) flips the database to degraded-read-only — searches keep
+// serving, mutations answer 503 while a background probe retries
+// recovery with backoff. /healthz stays pure liveness; /readyz answers
+// 503 with a JSON state body while degraded or draining, so load
+// balancers rotate the process out without killing it. The server shuts
+// down gracefully on SIGINT/SIGTERM: /readyz flips to draining,
+// in-flight requests get -drain to finish, then the remaining
+// connections are force-closed so a wedged request cannot stall the
+// final checkpoint.
 //
 // Try it:
 //
@@ -92,6 +104,9 @@ type config struct {
 	warmTau     int
 	slowLog     time.Duration
 	metrics     bool
+	timeout     time.Duration
+	maxInFlight int
+	maxQueue    int
 }
 
 // load assembles the served database and server from cfg.
@@ -195,6 +210,9 @@ func finishLoad(cfg config, d *gsim.Database) (*server.Server, error) {
 		Workers:        cfg.workers,
 		SlowQuery:      cfg.slowLog,
 		DisableMetrics: !cfg.metrics,
+		RequestTimeout: cfg.timeout,
+		MaxInFlight:    cfg.maxInFlight,
+		MaxQueue:       cfg.maxQueue,
 	})
 	return srv, nil
 }
@@ -235,6 +253,9 @@ func main() {
 	flag.IntVar(&cfg.warmTau, "warm", 0, "pre-build the posterior table for this τ̂ at startup (0 = off; needs priors)")
 	flag.DurationVar(&cfg.slowLog, "slowlog", 0, "log requests at or over this duration with their stage breakdown (0 = off)")
 	flag.BoolVar(&cfg.metrics, "metrics", true, "serve the Prometheus text exposition on GET /metrics")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "per-request deadline for work endpoints; a blown deadline answers 504 (0 = none)")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "cap on concurrently executing work requests; excess is shed with 429 + Retry-After (0 = unlimited)")
+	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "admission wait-queue slots in front of -max-inflight (0 = shed immediately at the cap)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "shards" {
@@ -270,13 +291,25 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		log.Printf("gsimd: shutting down (drain %v)", *drain)
+		// Flip /readyz to 503 first so load balancers stop routing here
+		// while the in-flight requests finish.
+		srv.SetDraining(true)
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("gsimd: shutdown: %v", err)
+		if err := hs.Shutdown(shutCtx); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The drain deadline is a hard cap: a wedged in-flight
+				// request must not hold Close (and the final checkpoint)
+				// hostage. Force-close the remaining connections.
+				log.Printf("gsimd: drain deadline exceeded; force-closing connections")
+				hs.Close()
+			} else {
+				log.Printf("gsimd: shutdown: %v", err)
+			}
 		}
-		// Requests have drained: the final checkpoint compacts the data
-		// directory so the next boot recovers from segments alone.
+		// Requests have drained (or were cut off): the final checkpoint
+		// compacts the data directory so the next boot recovers from
+		// segments alone.
 		if err := d.Close(); err != nil {
 			log.Printf("gsimd: close: %v", err)
 		}

@@ -50,6 +50,7 @@ type Database struct {
 	shardN int      // configured shard count, reused when loads rebuild the store
 	active []int    // graph IDs scanned by Search; nil = all (immutable once set)
 	dur    *durable // persistence state; nil for an in-memory database
+	health health   // degraded-mode state machine (health.go); zero value = healthy
 
 	tauMax   int
 	ws       *core.Workspace
@@ -203,6 +204,9 @@ func (d *Database) ShardSizes() []int {
 // (every shard briefly locked): a concurrent search sees either none or
 // all of the loaded graphs, and the epoch advances once.
 func (d *Database) LoadText(r io.Reader) (int, error) {
+	if err := d.writable(); err != nil {
+		return 0, err
+	}
 	d.mu.RLock()
 	store := d.store
 	d.mu.RUnlock()
@@ -265,6 +269,9 @@ func (d *Database) SaveBinary(w io.Writer) error {
 // recovers either the old contents (LoadBinary unacknowledged) or the
 // new ones — never a mix.
 func (d *Database) LoadBinary(r io.Reader) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	col, err := db.LoadBinary(r)
 	if err != nil {
 		return err
@@ -301,7 +308,9 @@ func (d *Database) LoadBinary(r io.Reader) error {
 	d.proj = nil
 	d.apMu.Unlock()
 	if du != nil {
-		if _, err := du.checkpoint(store, d.epoch); err != nil {
+		_, err := du.checkpoint(store, d.epoch)
+		d.noteCheckpoint(err)
+		if err != nil {
 			return err
 		}
 	}
@@ -315,6 +324,9 @@ func (d *Database) LoadBinary(r io.Reader) error {
 // are released (dictionary compaction reclaims dead entries once enough
 // accumulate). Returns ErrNotFound for unknown or already-deleted IDs.
 func (d *Database) Delete(id int) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if id < 0 {
@@ -443,6 +455,9 @@ func (b *GraphBuilder) storable() error {
 // replaced the database contents since NewGraph — the builder's labels
 // were interned against the replaced dictionary.
 func (b *GraphBuilder) Store() (int, error) {
+	if err := b.d.writable(); err != nil {
+		return 0, err
+	}
 	if err := b.storable(); err != nil {
 		return 0, err
 	}
@@ -464,6 +479,9 @@ func (b *GraphBuilder) Store() (int, error) {
 // scans keep their snapshot; the next search sees the new graph under the
 // old ID. Returns ErrNotFound for unknown IDs.
 func (b *GraphBuilder) Update(id int) error {
+	if err := b.d.writable(); err != nil {
+		return err
+	}
 	if err := b.storable(); err != nil {
 		return err
 	}
@@ -500,6 +518,9 @@ type BuilderMutation struct {
 // changes. It returns the resulting graph ID of every mutation in batch
 // order: fresh IDs for inserts, the (unchanged) target IDs for updates.
 func (d *Database) CommitAll(muts []BuilderMutation) ([]int, error) {
+	if err := d.writable(); err != nil {
+		return nil, err
+	}
 	for i, mu := range muts {
 		b := mu.Builder
 		if b == nil || b.d != d {

@@ -228,6 +228,24 @@
 // BenchmarkKernel_Posterior and BenchmarkKernel_GBD1000 gate the two
 // kernels in CI.
 //
+// # Robustness
+//
+// The durability layer performs every file operation through an
+// injectable filesystem seam (internal/faultfs), so its failure paths —
+// a failed fsync, ENOSPC mid-segment, a torn manifest write — are
+// deterministic tests, not code that first runs when hardware
+// misbehaves. A journaling or checkpoint fault flips the database into
+// a degraded-read-only state rather than crashing or silently dropping
+// durability: searches keep serving from memory, mutations fail fast
+// with ErrDegraded, and a background probe retries a checkpoint with
+// jittered exponential backoff (WithRecoveryBackoff). A successful
+// checkpoint — the probe's, the auto-checkpointer's or an operator's —
+// rotates every shard onto fresh logs and snapshots the whole store, so
+// it doubles as the recovery action and restores the healthy state.
+// Health reports the current state, cause and transition counters; the
+// HTTP layer maps it to 503 + Retry-After on mutations and a /readyz
+// readiness probe.
+//
 // # Quick start
 //
 //	d, err := gsim.Open("/var/lib/gsim") // durable; gsim.New() for in-memory

@@ -2,6 +2,7 @@ package gsim
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"gsim/internal/db"
+	"gsim/internal/faultfs"
 	"gsim/internal/graph"
 	"gsim/internal/shard"
 	"gsim/internal/wal"
@@ -67,7 +69,8 @@ func walFile(shard int, gen uint64) string { return fmt.Sprintf("wal-%d-%d.log",
 type durable struct {
 	dir  string
 	opts dbOptions
-	ws   *walSet // nil when opened WithoutWAL
+	fs   faultfs.FS // resolved filesystem seam (never nil)
+	ws   *walSet    // nil when opened WithoutWAL
 
 	pmu    sync.Mutex // serialises checkpoint / close against each other
 	gen    uint64     // current WAL generation (writers + next manifest)
@@ -95,6 +98,11 @@ type walSet struct {
 	dict    atomic.Pointer[graph.Labels]
 	writers []atomic.Pointer[wal.Writer]
 	bufs    sync.Pool
+	// onFault, when set, receives every journaling I/O error (a failed
+	// append, flush or group-commit fsync) — the hook that flips the
+	// owning database into degraded mode. Closed-writer errors during
+	// rotation or shutdown are lifecycle, not faults, and are excluded.
+	onFault func(error)
 }
 
 func newWalSet(dir string, n int, opts wal.Options, dict *graph.Labels) *walSet {
@@ -121,6 +129,7 @@ func (s *walSet) Append(i int, op wal.Op, id uint64, g *graph.Graph) (shard.Toke
 	*bp = buf
 	s.bufs.Put(bp)
 	if err != nil {
+		s.fault(err)
 		return shard.Token{}, err
 	}
 	return shard.Token{Seq: seq, H: w}, nil
@@ -128,7 +137,19 @@ func (s *walSet) Append(i int, op wal.Op, id uint64, g *graph.Graph) (shard.Toke
 
 // Wait blocks until the journaled record is durable under the policy.
 func (s *walSet) Wait(t shard.Token) error {
-	return t.H.(*wal.Writer).Commit(t.Seq)
+	err := t.H.(*wal.Writer).Commit(t.Seq)
+	if err != nil {
+		s.fault(err)
+	}
+	return err
+}
+
+// fault reports a journaling error to the health hook, filtering the
+// lifecycle case (a writer closed by rotation or shutdown).
+func (s *walSet) fault(err error) {
+	if s.onFault != nil && !errors.Is(err, wal.ErrClosed) {
+		s.onFault(err)
+	}
 }
 
 // rotate swaps shard i's writer to a fresh generation-gen log, returning
@@ -171,14 +192,15 @@ func (s *walSet) closeAll() error {
 // openDurable is Open's implementation: fresh-directory initialisation
 // or manifest-driven recovery.
 func openDurable(dir string, o dbOptions) (*Database, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := faultfs.Or(o.fs)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("gsim: creating data dir: %w", err)
 	}
-	man, err := readManifest(dir)
+	man, err := readManifest(fs, dir)
 	if err != nil {
 		return nil, err
 	}
-	du := &durable{dir: dir, opts: o}
+	du := &durable{dir: dir, opts: o, fs: fs}
 	var d *Database
 	if man == nil {
 		d, err = initFresh(dir, o, du)
@@ -190,6 +212,13 @@ func openDurable(dir string, o dbOptions) (*Database, error) {
 			du.ws.closeAll()
 		}
 		return nil, err
+	}
+	// Arm the health machine only once the database is fully built: a
+	// journaling fault from here on flips it degraded and starts the
+	// recovery probe (failures during Open surface as Open errors).
+	d.health.stopc = make(chan struct{})
+	if du.ws != nil {
+		du.ws.onFault = d.fault
 	}
 	d.startCheckpointer()
 	return d, nil
@@ -206,7 +235,7 @@ func initFresh(dir string, o dbOptions, du *durable) (*Database, error) {
 		}
 	}
 	if !o.noWAL {
-		du.ws = newWalSet(dir, n, wal.Options{Policy: o.policy, Metrics: &d.walTele}, d.store.Dict())
+		du.ws = newWalSet(dir, n, wal.Options{Policy: o.policy, Metrics: &d.walTele, FS: o.fs}, d.store.Dict())
 		d.store.SetJournal(du.ws)
 	}
 	// First checkpoint: rotation creates the generation-1 logs, segments
@@ -275,7 +304,7 @@ func recover_(dir string, o dbOptions, du *durable, man *manifest) (*Database, e
 		wg.Add(1)
 		go func(i int, seg string) {
 			defer wg.Done()
-			f, err := os.Open(filepath.Join(dir, seg))
+			f, err := du.fs.Open(filepath.Join(dir, seg))
 			if err != nil {
 				errs[i] = fmt.Errorf("gsim: missing segment %s: %w", seg, err)
 				return
@@ -319,7 +348,7 @@ func recover_(dir string, o dbOptions, du *durable, man *manifest) (*Database, e
 			fwg.Add(1)
 			go func(i int, path string) {
 				defer fwg.Done()
-				nrec, err := wal.Replay(path, func(payload []byte) error {
+				nrec, err := wal.ReplayFS(du.fs, path, func(payload []byte) error {
 					rec, err := wal.DecodeRecord(payload, dict)
 					if err != nil {
 						return err
@@ -343,7 +372,7 @@ func recover_(dir string, o dbOptions, du *durable, man *manifest) (*Database, e
 
 	d := &Database{store: store, shardN: n, dur: du, epoch: man.Epoch}
 	if !o.noWAL {
-		du.ws = newWalSet(dir, n, wal.Options{Policy: o.policy, Metrics: &d.walTele}, dict)
+		du.ws = newWalSet(dir, n, wal.Options{Policy: o.policy, Metrics: &d.walTele, FS: o.fs}, dict)
 	}
 	nextGen := maxGen + 1
 	if replayed.Load() > 0 || n != man.Shards {
@@ -372,14 +401,14 @@ func recover_(dir string, o dbOptions, du *durable, man *manifest) (*Database, e
 	man2 := *man
 	man2.Gen = nextGen
 	man2.NextID = store.NextID()
-	if err := writeManifest(dir, &man2); err != nil {
+	if err := writeManifest(du.fs, dir, &man2); err != nil {
 		return nil, err
 	}
 	du.gen = nextGen
 	du.smu.Lock()
 	du.segments = len(man2.Segments)
 	du.smu.Unlock()
-	cleanupDir(dir, nextGen, man2.Segments)
+	cleanupDir(du.fs, dir, nextGen, man2.Segments)
 	return d, nil
 }
 
@@ -439,7 +468,13 @@ func (d *Database) Checkpoint() (CheckpointStats, error) {
 	d.mu.RLock()
 	store, epoch := d.store, d.epoch
 	d.mu.RUnlock()
-	return d.dur.checkpoint(store, epoch)
+	st, err := d.dur.checkpoint(store, epoch)
+	// A successful checkpoint is the recovery action: every shard is on
+	// fresh logs and the segments capture the whole store, so it clears a
+	// degraded state whoever ran it — the background probe or an
+	// operator's POST /v1/admin/checkpoint. A failure (re-)faults.
+	d.noteCheckpoint(err)
+	return st, err
 }
 
 // checkpoint is the engine behind Checkpoint, initFresh and recovery;
@@ -448,6 +483,13 @@ func (d *Database) Checkpoint() (CheckpointStats, error) {
 func (du *durable) checkpoint(store *shard.Map, dbEpoch uint64) (CheckpointStats, error) {
 	start := time.Now()
 	newGen := du.gen + 1
+	// Advance the generation now, not after the manifest lands: once any
+	// shard rotates, its writer owns the generation-newGen file, and a
+	// failed checkpoint's retry must pick a fresh generation rather than
+	// reopen files live writers still hold. Recovery replays every
+	// generation ≥ the manifest's in order, so skipped or un-manifested
+	// generations are harmless.
+	du.gen = newGen
 	var olds []*wal.Writer
 	cuts, storeEpoch, err := store.CutRotate(func(i int) error {
 		if du.ws == nil {
@@ -460,6 +502,7 @@ func (du *durable) checkpoint(store *shard.Map, dbEpoch uint64) (CheckpointStats
 		return rerr
 	})
 	if err != nil {
+		closeWriters(olds)
 		return CheckpointStats{}, fmt.Errorf("gsim: checkpoint rotation: %w", err)
 	}
 	// NextID after the cut: every ID in the cut is below it, and records
@@ -476,7 +519,7 @@ func (du *durable) checkpoint(store *shard.Map, dbEpoch uint64) (CheckpointStats
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			n, err := writeSegmentFile(filepath.Join(du.dir, segs[i]), cuts[i])
+			n, err := writeSegmentFile(du.fs, filepath.Join(du.dir, segs[i]), cuts[i])
 			serrs[i] = err
 			bytes.Add(n)
 		}(i)
@@ -484,6 +527,7 @@ func (du *durable) checkpoint(store *shard.Map, dbEpoch uint64) (CheckpointStats
 	wg.Wait()
 	for _, err := range serrs {
 		if err != nil {
+			closeWriters(olds)
 			return CheckpointStats{}, fmt.Errorf("gsim: checkpoint segment: %w", err)
 		}
 	}
@@ -506,18 +550,16 @@ func (du *durable) checkpoint(store *shard.Map, dbEpoch uint64) (CheckpointStats
 		Labels:   labels,
 		Segments: segs,
 	}
-	if err := writeManifest(du.dir, man); err != nil {
+	if err := writeManifest(du.fs, du.dir, man); err != nil {
+		closeWriters(olds)
 		return CheckpointStats{}, err
 	}
 
 	// The manifest no longer references the old generation: retire it.
 	// Closing an old writer syncs it first, so in-flight Commit waiters
 	// from before the rotation still resolve.
-	for _, w := range olds {
-		w.Close()
-	}
-	du.gen = newGen
-	cleanupDir(du.dir, newGen, segs)
+	closeWriters(olds)
+	cleanupDir(du.fs, du.dir, newGen, segs)
 
 	st := CheckpointStats{
 		Epoch:        man.Epoch,
@@ -536,9 +578,18 @@ func (du *durable) checkpoint(store *shard.Map, dbEpoch uint64) (CheckpointStats
 	return st, nil
 }
 
+// closeWriters retires a batch of superseded WAL writers, ignoring
+// errors: each Close syncs first, and a sync failure on an
+// already-replaced writer changes nothing recovery relies on.
+func closeWriters(ws []*wal.Writer) {
+	for _, w := range ws {
+		w.Close()
+	}
+}
+
 // writeSegmentFile writes and fsyncs one segment, reporting its size.
-func writeSegmentFile(path string, entries []*db.Entry) (int64, error) {
-	f, err := os.Create(path)
+func writeSegmentFile(fs faultfs.FS, path string, entries []*db.Entry) (int64, error) {
+	f, err := fs.Create(path)
 	if err != nil {
 		return 0, err
 	}
@@ -561,8 +612,8 @@ func writeSegmentFile(path string, entries []*db.Entry) (int64, error) {
 }
 
 // readManifest loads the directory's manifest, (nil, nil) when absent.
-func readManifest(dir string) (*manifest, error) {
-	f, err := os.Open(filepath.Join(dir, manifestName))
+func readManifest(fs faultfs.FS, dir string) (*manifest, error) {
+	f, err := fs.Open(filepath.Join(dir, manifestName))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -585,9 +636,9 @@ func readManifest(dir string) (*manifest, error) {
 
 // writeManifest atomically replaces the manifest: tmp file, fsync,
 // rename, directory fsync.
-func writeManifest(dir string, man *manifest) error {
+func writeManifest(fs faultfs.FS, dir string, man *manifest) error {
 	tmp := filepath.Join(dir, manifestName+".tmp")
-	f, err := os.Create(tmp)
+	f, err := fs.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("gsim: writing manifest: %w", err)
 	}
@@ -602,7 +653,7 @@ func writeManifest(dir string, man *manifest) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("gsim: writing manifest: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := fs.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return fmt.Errorf("gsim: writing manifest: %w", err)
 	}
 	if df, err := os.Open(dir); err == nil {
@@ -614,7 +665,7 @@ func writeManifest(dir string, man *manifest) error {
 
 // cleanupDir removes WAL files below the current generation and segment
 // files the current manifest does not reference.
-func cleanupDir(dir string, curGen uint64, keepSegs []string) {
+func cleanupDir(fs faultfs.FS, dir string, curGen uint64, keepSegs []string) {
 	keep := make(map[string]bool, len(keepSegs))
 	for _, s := range keepSegs {
 		keep[s] = true
@@ -624,14 +675,14 @@ func cleanupDir(dir string, curGen uint64, keepSegs []string) {
 			var sh int
 			var g uint64
 			if _, err := fmt.Sscanf(filepath.Base(p), "wal-%d-%d.log", &sh, &g); err == nil && g < curGen {
-				os.Remove(p)
+				fs.Remove(p)
 			}
 		}
 	}
 	if segsOnDisk, err := filepath.Glob(filepath.Join(dir, "seg-*-*.bin")); err == nil {
 		for _, p := range segsOnDisk {
 			if !keep[filepath.Base(p)] {
-				os.Remove(p)
+				fs.Remove(p)
 			}
 		}
 	}
@@ -657,7 +708,9 @@ func (d *Database) startCheckpointer() {
 				return
 			case <-t.C:
 				if bytes, _, _ := du.ws.stats(); bytes >= du.opts.autoBytes {
-					d.Checkpoint() // an error here surfaces on the next explicit call
+					// An error flips the database degraded (see Checkpoint);
+					// the recovery probe owns the retries from there.
+					d.Checkpoint()
 				}
 			}
 		}
@@ -672,6 +725,7 @@ func (d *Database) Close() error {
 	if du == nil {
 		return nil
 	}
+	d.health.stop()
 	du.stopOnce.Do(func() {
 		if du.stopc != nil {
 			close(du.stopc)

@@ -1,0 +1,76 @@
+// Package faultfs is the filesystem seam of the durability layer: every
+// file operation the WAL writers, snapshot segment writers and manifest
+// codec perform goes through an FS, so I/O failure paths — a failed
+// fsync, ENOSPC mid-segment, a torn write, a slow disk — become
+// deterministic, programmable test inputs instead of dead code that only
+// runs when production hardware misbehaves.
+//
+// Production uses OS, a zero-cost passthrough to the os package. Tests
+// wrap it in an Injector carrying fault rules: each rule names an
+// operation kind, an optional path substring, a skip count (arm on the
+// Nth matching call) and an action — return an error, write a torn
+// prefix before failing, or delay. The injector is safe for concurrent
+// use and counts matches atomically, so "fail the 3rd fsync" means the
+// 3rd fsync whatever goroutine performs it.
+//
+// The seam deliberately covers only what the durability layer uses:
+// open/create/read/write/sync/truncate/seek/stat/close on files, plus
+// rename, remove and mkdir on directories. It is not a general VFS.
+package faultfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the durability layer uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+}
+
+// FS abstracts the filesystem operations of the durability layer.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	// OpenFile is os.OpenFile: the WAL writer's append-mode open.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// Create is os.Create: segment and manifest-tmp writes.
+	Create(path string) (File, error)
+	// Open is os.Open: read-only opens for recovery and replay.
+	Open(path string) (File, error)
+	// Rename is os.Rename: the manifest's atomic replace.
+	Rename(oldpath, newpath string) error
+	// Remove is os.Remove: superseded log/segment cleanup.
+	Remove(path string) error
+	// MkdirAll is os.MkdirAll: data-directory creation.
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// osFS is the passthrough production implementation.
+type osFS struct{}
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+func (osFS) Create(path string) (File, error)             { return os.Create(path) }
+func (osFS) Open(path string) (File, error)               { return os.Open(path) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                     { return os.Remove(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// OS is the real filesystem — the FS every production open resolves to.
+var OS FS = osFS{}
+
+// Or returns fs, or OS when fs is nil — the resolution every consumer of
+// an optional FS field applies.
+func Or(fs FS) FS {
+	if fs == nil {
+		return OS
+	}
+	return fs
+}

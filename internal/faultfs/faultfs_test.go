@@ -1,0 +1,179 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOrNilResolvesToOS(t *testing.T) {
+	if Or(nil) != OS {
+		t.Fatal("Or(nil) should resolve to the real filesystem")
+	}
+	in := NewInjector(nil)
+	if Or(in) != FS(in) {
+		t.Fatal("Or(non-nil) should return its argument")
+	}
+}
+
+func TestPassthroughNoRules(t *testing.T) {
+	in := NewInjector(nil)
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := in.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if in.Calls(OpCreate) != 1 || in.Calls(OpWrite) != 1 || in.Calls(OpSync) != 1 {
+		t.Fatalf("call counts: create=%d write=%d sync=%d",
+			in.Calls(OpCreate), in.Calls(OpWrite), in.Calls(OpSync))
+	}
+}
+
+func TestFailNthSync(t *testing.T) {
+	in := NewInjector(nil)
+	r := in.Add(&Rule{Op: OpSync, After: 2, Count: 1})
+
+	f, err := in.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	for i := 1; i <= 4; i++ {
+		err := f.Sync()
+		if i == 3 {
+			if !errors.Is(err, syscall.EIO) {
+				t.Fatalf("sync %d: want injected EIO, got %v", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("sync %d: unexpected error %v", i, err)
+		}
+	}
+	if r.Fired() != 1 || r.Seen() != 4 {
+		t.Fatalf("rule fired=%d seen=%d, want 1 and 4", r.Fired(), r.Seen())
+	}
+}
+
+func TestENOSPCOnWrite(t *testing.T) {
+	in := NewInjector(nil)
+	in.Add(&Rule{Op: OpWrite, Err: ENOSPC})
+
+	f, err := in.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("doomed"))
+	if n != 0 || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Write = %d, %v; want 0, ENOSPC", n, err)
+	}
+}
+
+func TestTornShortWrite(t *testing.T) {
+	in := NewInjector(nil)
+	in.Add(&Rule{Op: OpWrite, ShortBytes: 3})
+
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := in.Create(path)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || err == nil {
+		t.Fatalf("Write = %d, %v; want 3 and an error", n, err)
+	}
+	f.Close()
+	got, _ := os.ReadFile(path)
+	if string(got) != "abc" {
+		t.Fatalf("torn write left %q on disk, want %q", got, "abc")
+	}
+}
+
+func TestPathMatching(t *testing.T) {
+	in := NewInjector(nil)
+	in.Add(&Rule{Op: OpCreate, PathContains: "MANIFEST"})
+
+	dir := t.TempDir()
+	if f, err := in.Create(filepath.Join(dir, "seg-0-1.bin")); err != nil {
+		t.Fatalf("non-matching Create failed: %v", err)
+	} else {
+		f.Close()
+	}
+	if _, err := in.Create(filepath.Join(dir, "MANIFEST.tmp")); err == nil {
+		t.Fatal("matching Create should have failed")
+	}
+}
+
+func TestDelayOnly(t *testing.T) {
+	in := NewInjector(nil)
+	in.Add(&Rule{Op: OpSync, Delay: 30 * time.Millisecond, DelayOnly: true})
+
+	f, err := in.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("delay-only sync should succeed, got %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("sync returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestClearStopsFaults(t *testing.T) {
+	in := NewInjector(nil)
+	in.Add(&Rule{Op: OpSync})
+
+	f, err := in.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync should fail while the rule is installed")
+	}
+	in.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync should succeed after Clear, got %v", err)
+	}
+}
+
+func TestRenameAndRemoveFaults(t *testing.T) {
+	in := NewInjector(nil)
+	in.Add(&Rule{Op: OpRename, PathContains: "MANIFEST"})
+	in.Add(&Rule{Op: OpRemove})
+
+	dir := t.TempDir()
+	src := filepath.Join(dir, "MANIFEST.tmp")
+	if err := os.WriteFile(src, []byte("m"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(src, filepath.Join(dir, "MANIFEST")); err == nil {
+		t.Fatal("rename onto MANIFEST should fail")
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("failed rename should leave the source in place: %v", err)
+	}
+	if err := in.Remove(src); err == nil {
+		t.Fatal("remove should fail")
+	}
+}

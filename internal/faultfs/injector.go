@@ -1,0 +1,241 @@
+package faultfs
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Op names a filesystem operation a Rule can target.
+type Op uint8
+
+const (
+	OpWrite Op = iota
+	OpSync
+	OpCreate
+	OpOpen     // read-only opens (FS.Open)
+	OpOpenFile // read-write opens (FS.OpenFile)
+	OpRename
+	OpRemove
+	OpTruncate
+	OpMkdirAll
+	numOps
+)
+
+var opNames = [numOps]string{"write", "sync", "create", "open", "openfile", "rename", "remove", "truncate", "mkdirall"}
+
+// String returns the lower-case operation name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// Rule is one programmable fault point. A rule matches calls of its Op
+// whose path contains PathContains (empty matches every path); the first
+// After matching calls pass through untouched, then Count calls (0 means
+// unlimited) take the fault action: sleep Delay if set, then — unless the
+// rule is delay-only — fail with Err. For OpWrite, ShortBytes > 0 writes
+// that many bytes of the payload before failing, modelling a torn write
+// that leaves a partial frame on disk.
+type Rule struct {
+	Op           Op
+	PathContains string
+	After        int           // matching calls to let through first
+	Count        int           // faulting calls; 0 = every one after After
+	Err          error         // defaults to EIO; use ENOSPC etc. to taste
+	ShortBytes   int           // OpWrite: bytes written before the failure
+	Delay        time.Duration // sleep before acting (with Err nil and DelayOnly, a slow disk)
+	DelayOnly    bool          // only sleep; the call itself succeeds
+
+	seen  atomic.Int64 // matching calls observed
+	fired atomic.Int64 // matching calls faulted
+}
+
+// Fired reports how many calls this rule has faulted.
+func (r *Rule) Fired() int { return int(r.fired.Load()) }
+
+// Seen reports how many calls matched this rule, faulted or not.
+func (r *Rule) Seen() int { return int(r.seen.Load()) }
+
+// ErrInjected is the default injected error: a recognisable EIO.
+var ErrInjected error = &os.PathError{Op: "faultfs", Path: "injected", Err: syscall.EIO}
+
+// ENOSPC is syscall.ENOSPC, exported so tests spell disk-full faults
+// without importing syscall.
+var ENOSPC error = syscall.ENOSPC
+
+// Injector wraps an FS and applies fault rules to matching calls. The
+// zero value is not usable; build one with NewInjector. Rules may be
+// added while the injector is in use.
+type Injector struct {
+	fs    FS
+	mu    sync.RWMutex
+	rules []*Rule
+	calls [numOps]atomic.Int64
+}
+
+// NewInjector wraps fs (nil means the real filesystem) with no rules.
+func NewInjector(fs FS) *Injector {
+	return &Injector{fs: Or(fs)}
+}
+
+// Add installs a rule and returns it so the caller can poll Fired. The
+// rule's Err defaults to ErrInjected when nil and the rule is not
+// delay-only.
+func (in *Injector) Add(r *Rule) *Rule {
+	if r.Err == nil && !r.DelayOnly {
+		r.Err = ErrInjected
+	}
+	in.mu.Lock()
+	in.rules = append(in.rules, r)
+	in.mu.Unlock()
+	return r
+}
+
+// Clear removes every rule: faults are over, the disk is healthy again.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	in.rules = nil
+	in.mu.Unlock()
+}
+
+// Calls reports how many operations of kind op the injector has seen.
+func (in *Injector) Calls(op Op) int { return int(in.calls[op].Load()) }
+
+// check runs the fault decision for one call. It returns the rule that
+// fired, or nil to let the call through. Delay-only rules sleep here and
+// return nil.
+func (in *Injector) check(op Op, path string) *Rule {
+	in.calls[op].Add(1)
+	in.mu.RLock()
+	rules := in.rules
+	in.mu.RUnlock()
+	for _, r := range rules {
+		if r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		n := r.seen.Add(1)
+		if n <= int64(r.After) {
+			continue
+		}
+		if r.Count > 0 && n > int64(r.After+r.Count) {
+			continue
+		}
+		if r.Delay > 0 {
+			time.Sleep(r.Delay)
+		}
+		if r.DelayOnly {
+			continue
+		}
+		r.fired.Add(1)
+		return r
+	}
+	return nil
+}
+
+func (in *Injector) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if r := in.check(OpOpenFile, path); r != nil {
+		return nil, r.Err
+	}
+	f, err := in.fs.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: f, in: in, path: path}, nil
+}
+
+func (in *Injector) Create(path string) (File, error) {
+	if r := in.check(OpCreate, path); r != nil {
+		return nil, r.Err
+	}
+	f, err := in.fs.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: f, in: in, path: path}, nil
+}
+
+func (in *Injector) Open(path string) (File, error) {
+	if r := in.check(OpOpen, path); r != nil {
+		return nil, r.Err
+	}
+	f, err := in.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &file{f: f, in: in, path: path}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if r := in.check(OpRename, newpath); r != nil {
+		return r.Err
+	}
+	return in.fs.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(path string) error {
+	if r := in.check(OpRemove, path); r != nil {
+		return r.Err
+	}
+	return in.fs.Remove(path)
+}
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if r := in.check(OpMkdirAll, path); r != nil {
+		return r.Err
+	}
+	return in.fs.MkdirAll(path, perm)
+}
+
+// file wraps an underlying File, routing Write/Sync/Truncate through the
+// injector's rules under the path the file was opened with.
+type file struct {
+	f    File
+	in   *Injector
+	path string
+}
+
+func (f *file) Read(p []byte) (int, error) { return f.f.Read(p) }
+
+func (f *file) Write(p []byte) (int, error) {
+	if r := f.in.check(OpWrite, f.path); r != nil {
+		n := 0
+		if r.ShortBytes > 0 && len(p) > 0 {
+			// A torn write: part of the payload lands before the error,
+			// leaving a partial frame for recovery to cope with.
+			short := r.ShortBytes
+			if short > len(p) {
+				short = len(p)
+			}
+			n, _ = f.f.Write(p[:short])
+		}
+		return n, r.Err
+	}
+	return f.f.Write(p)
+}
+
+func (f *file) Sync() error {
+	if r := f.in.check(OpSync, f.path); r != nil {
+		return r.Err
+	}
+	return f.f.Sync()
+}
+
+func (f *file) Truncate(size int64) error {
+	if r := f.in.check(OpTruncate, f.path); r != nil {
+		return r.Err
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *file) Seek(offset int64, whence int) (int64, error) { return f.f.Seek(offset, whence) }
+func (f *file) Close() error                                 { return f.f.Close() }
+func (f *file) Stat() (os.FileInfo, error)                   { return f.f.Stat() }

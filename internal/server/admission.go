@@ -1,0 +1,157 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"gsim"
+)
+
+// errServerBusy is the 429 shed body: the server is at its concurrency
+// cap and the wait queue is full (or the wait timed out).
+var errServerBusy = errors.New("server is at capacity; retry after a short backoff")
+
+// Admission control: the serving layer's overload valve. Without it a
+// traffic spike stacks goroutines until scans thrash and every request's
+// latency collapses together; with it at most MaxInFlight work requests
+// run, a short bounded queue absorbs bursts, and everything beyond that
+// is shed immediately with 429 + Retry-After — clients get a cheap,
+// honest signal to back off instead of a timeout. Only the work
+// endpoints (searches, ingest, delete) are limited; health, stats and
+// metrics always answer, because overload is exactly when an operator
+// needs them.
+
+// retryAfter is the Retry-After value (seconds) on 429 and 503 shed
+// responses: long enough for a burst to drain, short enough that a
+// polite client's retry lands promptly.
+const retryAfter = "1"
+
+// limiter is a semaphore with a bounded wait queue. nil means unlimited.
+type limiter struct {
+	sem      chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+	wait     time.Duration
+
+	shedFull atomic.Uint64 // rejected: queue already full
+	shedWait atomic.Uint64 // rejected: queued, but no slot freed in time
+}
+
+func newLimiter(maxInFlight, maxQueue int, wait time.Duration) *limiter {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if wait <= 0 {
+		wait = 50 * time.Millisecond
+	}
+	return &limiter{
+		sem:      make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+		wait:     wait,
+	}
+}
+
+// acquire claims a slot: immediately if one is free, after a bounded
+// wait if the queue has room, not at all otherwise. It returns false on
+// shed (and when the client gave up while queued).
+func (l *limiter) acquire(ctx context.Context) bool {
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.shedFull.Add(1)
+		return false
+	}
+	defer l.queued.Add(-1)
+	t := time.NewTimer(l.wait)
+	defer t.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		l.shedWait.Add(1)
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (l *limiter) release() { <-l.sem }
+
+// shed counts both rejection reasons.
+func (l *limiter) shed() uint64 { return l.shedFull.Load() + l.shedWait.Load() }
+
+// admit wraps a work-endpoint handler with the concurrency limiter and
+// the per-request deadline. With neither configured it returns h
+// untouched, so the default configuration adds zero overhead per
+// request.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	if s.limiter == nil && s.cfg.RequestTimeout <= 0 {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if l := s.limiter; l != nil {
+			if !l.acquire(r.Context()) {
+				if r.Context().Err() != nil {
+					return // client already gone; nothing useful to send
+				}
+				w.Header().Set("Retry-After", retryAfter)
+				writeError(w, http.StatusTooManyRequests,
+					errServerBusy)
+				return
+			}
+			defer l.release()
+		}
+		if t := s.cfg.RequestTimeout; t > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), t)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// readyResponse is the /readyz 503 body: why the process should be
+// pulled from rotation, and for a degradation, since when and by what.
+type readyResponse struct {
+	Status string `json:"status"` // "ready", "draining", "degraded", "recovering"
+	Since  string `json:"since,omitempty"`
+	Cause  string `json:"cause,omitempty"`
+}
+
+// handleReadyz is the readiness probe: 200 while the process should
+// receive traffic, 503 with a JSON state body while draining (shutdown
+// in progress) or while the database is degraded/recovering after a
+// durability fault. Liveness stays on /healthz — a degraded process is
+// alive (searches still serve) but should be rotated out of the
+// write path.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, readyResponse{Status: "draining"})
+		return
+	}
+	hi := s.db.Health()
+	if hi.State != gsim.HealthHealthy {
+		resp := readyResponse{Status: hi.State.String(), Cause: hi.Cause}
+		if !hi.Since.IsZero() {
+			resp.Since = hi.Since.UTC().Format(time.RFC3339Nano)
+		}
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, readyResponse{Status: "ready"})
+}
+
+// SetDraining marks the server as draining (or not): /readyz flips to
+// 503 so load balancers stop routing here while in-flight requests
+// finish. gsimd sets it at the start of graceful shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }

@@ -305,11 +305,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.db.Delete(id); err != nil {
-		if errors.Is(err, gsim.ErrNotFound) {
-			writeError(w, http.StatusNotFound, err)
-			return
-		}
-		writeError(w, http.StatusInternalServerError, err)
+		writeMutationError(w, err, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, deleteResponse{Deleted: 1, Graphs: s.db.Len(), Epoch: s.db.Epoch()})
@@ -336,7 +332,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	case "text/plain", "application/x-gsim":
 		n, err := s.db.LoadText(r.Body)
 		if err != nil {
-			writeError(w, bodyStatus(err, http.StatusBadRequest), fmt.Errorf("parsing .gsim text: %w", err))
+			writeMutationError(w, fmt.Errorf("parsing .gsim text: %w", err), bodyStatus(err, http.StatusBadRequest))
 			return
 		}
 		writeJSON(w, http.StatusOK, ingestResponse{Stored: n, Graphs: s.db.Len(), Epoch: s.db.Epoch()})
@@ -373,11 +369,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		ids, err := s.db.CommitAll(muts)
 		if err != nil {
-			status := http.StatusBadRequest
-			if errors.Is(err, gsim.ErrNotFound) {
-				status = http.StatusNotFound
-			}
-			writeError(w, status, err)
+			writeMutationError(w, err, http.StatusBadRequest)
 			return
 		}
 		writeJSON(w, http.StatusOK, ingestResponse{

@@ -44,6 +44,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"log"
@@ -84,6 +85,21 @@ type Config struct {
 	// the route table; telemetry is still recorded and served by
 	// /v1/stats.
 	DisableMetrics bool
+	// RequestTimeout bounds each work request (searches, ingest, delete)
+	// with a context deadline: the engine scan observes the cancellation
+	// and the request answers 504. ≤ 0 disables (no deadline).
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently executing work requests. Excess
+	// requests wait briefly in a bounded queue (MaxQueue slots, up to
+	// QueueWait), then are shed with 429 + Retry-After. ≤ 0 disables
+	// admission control entirely.
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue (default 0: shed
+	// immediately once MaxInFlight requests are executing).
+	MaxQueue int
+	// QueueWait is how long a queued request waits for a slot before
+	// being shed (default 50ms). Only meaningful with MaxQueue > 0.
+	QueueWait time.Duration
 }
 
 // Server serves one database over HTTP. Construct with New; all methods
@@ -97,6 +113,9 @@ type Server struct {
 
 	requests atomic.Uint64 // served requests, all endpoints
 	metrics  httpMetrics   // per-endpoint latency, status classes, in-flight
+
+	limiter  *limiter    // admission control; nil = unlimited
+	draining atomic.Bool // shutdown in progress: /readyz answers 503
 }
 
 // New returns a server over cfg.DB.
@@ -108,10 +127,11 @@ func New(cfg Config) *Server {
 		cfg.MaxBatch = 1024
 	}
 	return &Server{
-		db:    cfg.DB,
-		cache: qcache.New(cfg.CacheEntries),
-		cfg:   cfg,
-		start: time.Now(),
+		db:      cfg.DB,
+		cache:   qcache.New(cfg.CacheEntries),
+		cfg:     cfg,
+		start:   time.Now(),
+		limiter: newLimiter(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
 	}
 }
 
@@ -121,18 +141,23 @@ func New(cfg Config) *Server {
 // gauge and the slow-query log.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/search", s.instrument(epSearch, post(s.handleSearch)))
-	mux.HandleFunc("/v1/topk", s.instrument(epTopK, post(s.handleTopK)))
-	mux.HandleFunc("/v1/batch", s.instrument(epBatch, post(s.handleBatch)))
-	mux.HandleFunc("/v1/stream", s.instrument(epStream, post(s.handleStream)))
-	mux.HandleFunc("/v1/graphs", s.instrument(epGraphs, post(s.handleIngest)))
-	mux.HandleFunc("DELETE /v1/graphs/{id}", s.instrument(epDelete, s.handleDelete))
+	// Work endpoints run under admit (concurrency limiter + request
+	// deadline); the control plane — checkpoint, stats, metrics, health —
+	// does not: overload and degradation are exactly when an operator
+	// needs those to answer.
+	mux.HandleFunc("/v1/search", s.instrument(epSearch, s.admit(post(s.handleSearch))))
+	mux.HandleFunc("/v1/topk", s.instrument(epTopK, s.admit(post(s.handleTopK))))
+	mux.HandleFunc("/v1/batch", s.instrument(epBatch, s.admit(post(s.handleBatch))))
+	mux.HandleFunc("/v1/stream", s.instrument(epStream, s.admit(post(s.handleStream))))
+	mux.HandleFunc("/v1/graphs", s.instrument(epGraphs, s.admit(post(s.handleIngest))))
+	mux.HandleFunc("DELETE /v1/graphs/{id}", s.instrument(epDelete, s.admit(s.handleDelete)))
 	mux.HandleFunc("/v1/admin/checkpoint", s.instrument(epCheckpoint, post(s.handleCheckpoint)))
 	mux.HandleFunc("/v1/stats", s.instrument(epStats, get(s.handleStats)))
 	if !s.cfg.DisableMetrics {
 		mux.HandleFunc("/metrics", s.instrument(epMetrics, get(s.handleMetrics)))
 	}
 	mux.HandleFunc("/healthz", s.instrument(epHealthz, get(s.handleHealthz)))
+	mux.HandleFunc("/readyz", s.instrument(epReadyz, get(s.handleReadyz)))
 	return mux
 }
 
@@ -203,6 +228,9 @@ type statsResponse struct {
 	Epoch       uint64         `json:"epoch"`
 	Cache       cacheStats     `json:"cache"`
 	Server      serverCounts   `json:"server"`
+	// Health is the durability health machine: state, current-episode
+	// cause, and the transition counters (see gsim.HealthInfo).
+	Health healthBlock `json:"health"`
 	// Latency summarises per-endpoint request latency (endpoints that
 	// have served at least one request), plus the cacheable endpoints'
 	// hit/miss split under "cache_hit"/"cache_miss".
@@ -308,6 +336,25 @@ type serverCounts struct {
 	InFlight    int64  `json:"in_flight"`
 	SlowQueries uint64 `json:"slow_queries"`
 	UptimeMS    int64  `json:"uptime_ms"`
+	// Panics counts handler panics recovered into 500s; Shed counts work
+	// requests rejected with 429 by admission control (MaxInFlight caps
+	// concurrent execution; 0 = unlimited). Draining mirrors /readyz
+	// during graceful shutdown.
+	Panics      uint64 `json:"panics"`
+	Shed        uint64 `json:"shed"`
+	MaxInFlight int    `json:"max_in_flight"`
+	Draining    bool   `json:"draining"`
+}
+
+// healthBlock is the /v1/stats "health" block: the degraded-mode state
+// machine's current state and lifetime transition counters.
+type healthBlock struct {
+	State        string `json:"state"`
+	Since        string `json:"since,omitempty"`
+	Cause        string `json:"cause,omitempty"`
+	Degradations uint64 `json:"degradations"`
+	Probes       uint64 `json:"probes"`
+	Recoveries   uint64 `json:"recoveries"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -380,7 +427,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			InFlight:    s.metrics.inFlight.Load(),
 			SlowQueries: s.metrics.slowQueries.Load(),
 			UptimeMS:    time.Since(s.start).Milliseconds(),
+			Panics:      s.metrics.panics.Load(),
+			MaxInFlight: s.cfg.MaxInFlight,
+			Draining:    s.draining.Load(),
 		},
+		Health: healthInfoBlock(s.db.Health()),
+	}
+	if s.limiter != nil {
+		resp.Server.Shed = s.limiter.shed()
 	}
 	// One 15 KiB snapshot buffer serves every histogram digest of this
 	// render.
@@ -389,6 +443,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.Stages = s.stagesBlock(buf)
 	resp.Runtime = runtimeStats()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// healthInfoBlock maps the library's health snapshot to the wire.
+func healthInfoBlock(hi gsim.HealthInfo) healthBlock {
+	b := healthBlock{
+		State:        hi.State.String(),
+		Cause:        hi.Cause,
+		Degradations: hi.Degradations,
+		Probes:       hi.Probes,
+		Recoveries:   hi.Recoveries,
+	}
+	if !hi.Since.IsZero() {
+		b.Since = hi.Since.UTC().Format(time.RFC3339Nano)
+	}
+	return b
 }
 
 // persistenceBlock maps the library's persistence counters to the wire.
@@ -434,7 +503,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // searchStatus maps a search error to its HTTP status: caller mistakes
 // are 400, a database not ready for the method is 409, an oversized pair
-// refused by a baseline is 422, the rest is 500.
+// refused by a baseline is 422, a request deadline blown mid-scan is
+// 504, the rest is 500.
 func searchStatus(err error) int {
 	switch {
 	case errors.Is(err, gsim.ErrBadOptions):
@@ -443,7 +513,26 @@ func searchStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, gsim.ErrTooLarge):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// writeMutationError renders a mutation failure: a degraded (read-only)
+// database answers 503 with a Retry-After — the background probe is
+// already working on recovery, so a retry is genuinely worth the
+// client's while — unknown IDs answer 404, everything else the caller's
+// fallback.
+func writeMutationError(w http.ResponseWriter, err error, fallback int) {
+	switch {
+	case errors.Is(err, gsim.ErrDegraded):
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, gsim.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, fallback, err)
 	}
 }

@@ -56,6 +56,7 @@ import (
 	"sync"
 	"time"
 
+	"gsim/internal/faultfs"
 	"gsim/internal/telemetry"
 )
 
@@ -112,6 +113,9 @@ type Options struct {
 	// writers (and across checkpoint rotations), so the histograms
 	// describe the whole log set.
 	Metrics *telemetry.WALMetrics
+	// FS is the filesystem seam (nil = the real OS). Tests inject a
+	// faultfs.Injector here to make append/fsync failures deterministic.
+	FS faultfs.FS
 }
 
 // ErrClosed reports an append or commit against a closed writer.
@@ -151,7 +155,7 @@ type Stats struct {
 type Writer struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	f       *os.File
+	f       faultfs.File
 	pending []byte
 	spare   []byte // recycled pending buffer
 	seq     uint64 // records appended (monotonic, includes preexisting)
@@ -172,7 +176,7 @@ func Open(path string, opts Options) (*Writer, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = 50 * time.Millisecond
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := faultfs.Or(opts.FS).OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +396,7 @@ func (w *Writer) Close() error {
 // non-nil) with each valid payload, and returns the record count and the
 // byte offset of the longest valid prefix — the torn-tail boundary.
 // Payloads handed to fn are only valid during the call.
-func scan(f *os.File, fn func(payload []byte) error) (records uint64, valid int64, err error) {
+func scan(f faultfs.File, fn func(payload []byte) error) (records uint64, valid int64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, err
 	}
@@ -434,7 +438,14 @@ func scan(f *os.File, fn func(payload []byte) error) (records uint64, valid int6
 // records it delivered. A missing file replays zero records: a shard
 // that never logged is a shard with nothing to recover.
 func Replay(path string, fn func(payload []byte) error) (uint64, error) {
-	f, err := os.Open(path)
+	return ReplayFS(nil, path, fn)
+}
+
+// ReplayFS is Replay through an injectable filesystem (nil = the real
+// OS), so recovery-under-fault tests exercise the same code path the
+// database does.
+func ReplayFS(fs faultfs.FS, path string, fn func(payload []byte) error) (uint64, error) {
+	f, err := faultfs.Or(fs).Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil

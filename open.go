@@ -3,7 +3,9 @@ package gsim
 import (
 	"errors"
 	"path/filepath"
+	"time"
 
+	"gsim/internal/faultfs"
 	"gsim/internal/shard"
 	"gsim/internal/wal"
 )
@@ -50,12 +52,21 @@ type dbOptions struct {
 	noWAL      bool
 	importPath string
 	autoBytes  int64
+	fs         faultfs.FS    // nil = the real OS
+	probeMin   time.Duration // recovery probe backoff floor
+	probeMax   time.Duration // recovery probe backoff ceiling
 }
 
 func applyOptions(opts []Option) dbOptions {
-	o := dbOptions{autoBytes: 64 << 20}
+	o := dbOptions{autoBytes: 64 << 20, probeMin: 100 * time.Millisecond, probeMax: 5 * time.Second}
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.probeMin <= 0 {
+		o.probeMin = 100 * time.Millisecond
+	}
+	if o.probeMax < o.probeMin {
+		o.probeMax = o.probeMin
 	}
 	return o
 }
@@ -103,6 +114,23 @@ func WithImport(path string) Option {
 // default is 64 MiB.
 func WithAutoCheckpoint(bytes int64) Option {
 	return func(o *dbOptions) { o.autoBytes = bytes }
+}
+
+// WithFS routes every filesystem operation of the durability layer (WAL
+// appends, segment and manifest writes, recovery reads, cleanup) through
+// fs. Production never needs it; fault-injection tests pass a
+// faultfs.Injector to make I/O failures deterministic. nil selects the
+// real OS.
+func WithFS(fs faultfs.FS) Option {
+	return func(o *dbOptions) { o.fs = fs }
+}
+
+// WithRecoveryBackoff bounds the degraded-mode recovery probe's jittered
+// exponential backoff: the first retry waits about min, doubling up to
+// max. The defaults (100ms, 5s) suit real disks; tests shrink them to
+// keep fault-recovery cycles fast.
+func WithRecoveryBackoff(min, max time.Duration) Option {
+	return func(o *dbOptions) { o.probeMin, o.probeMax = min, max }
 }
 
 // New creates an in-memory database — no directory, no WAL, no
