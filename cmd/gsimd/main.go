@@ -88,25 +88,27 @@ import (
 // config collects the flag values; split from main so the smoke test can
 // assemble a server without a process.
 type config struct {
-	dataDir     string
-	fsync       string
-	dbPath      string
-	binary      bool
-	priorsPath  string
-	buildPriors bool
-	tauMax      int
-	pairs       int
-	cacheSize   int
-	method      string
-	workers     int
-	shards      int
-	shardsSet   bool
-	warmTau     int
-	slowLog     time.Duration
-	metrics     bool
-	timeout     time.Duration
-	maxInFlight int
-	maxQueue    int
+	dataDir      string
+	fsync        string
+	dbPath       string
+	binary       bool
+	priorsPath   string
+	buildPriors  bool
+	tauMax       int
+	pairs        int
+	cacheSize    int
+	method       string
+	workers      int
+	shards       int
+	shardsSet    bool
+	warmTau      int
+	slowLog      time.Duration
+	slowLogRate  float64
+	slowLogBurst int
+	metrics      bool
+	timeout      time.Duration
+	maxInFlight  int
+	maxQueue     int
 }
 
 // load assembles the served database and server from cfg.
@@ -209,6 +211,8 @@ func finishLoad(cfg config, d *gsim.Database) (*server.Server, error) {
 		DefaultMethod:  m,
 		Workers:        cfg.workers,
 		SlowQuery:      cfg.slowLog,
+		SlowLogPerSec:  cfg.slowLogRate,
+		SlowLogBurst:   cfg.slowLogBurst,
 		DisableMetrics: !cfg.metrics,
 		RequestTimeout: cfg.timeout,
 		MaxInFlight:    cfg.maxInFlight,
@@ -235,6 +239,7 @@ func main() {
 		addr      = flag.String("addr", ":8764", "listen address")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060; empty = off)")
+		version   = flag.Bool("version", false, "print version and exit")
 		cfg       config
 		methods   = "gbda"
 	)
@@ -252,11 +257,17 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 0, "storage shards for the resident database (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.warmTau, "warm", 0, "pre-build the posterior table for this τ̂ at startup (0 = off; needs priors)")
 	flag.DurationVar(&cfg.slowLog, "slowlog", 0, "log requests at or over this duration with their stage breakdown (0 = off)")
+	flag.Float64Var(&cfg.slowLogRate, "slowlog-rate", 0, "slow-query line emission limit in lines/sec (0 = default 10, negative = unlimited)")
+	flag.IntVar(&cfg.slowLogBurst, "slowlog-burst", 0, "slow-query emission burst capacity (0 = default 20)")
 	flag.BoolVar(&cfg.metrics, "metrics", true, "serve the Prometheus text exposition on GET /metrics")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "per-request deadline for work endpoints; a blown deadline answers 504 (0 = none)")
 	flag.IntVar(&cfg.maxInFlight, "max-inflight", 0, "cap on concurrently executing work requests; excess is shed with 429 + Retry-After (0 = unlimited)")
 	flag.IntVar(&cfg.maxQueue, "max-queue", 0, "admission wait-queue slots in front of -max-inflight (0 = shed immediately at the cap)")
 	flag.Parse()
+	if *version {
+		fmt.Println("gsimd", gsim.Version)
+		return
+	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "shards" {
 			cfg.shardsSet = true

@@ -1,0 +1,205 @@
+// Command gsimload drives a live gsimd endpoint with Zipf-skewed mixed
+// traffic and reports client-observed latency percentiles — the serving
+// stack's load harness and soak gate.
+//
+//	gsimload -url http://localhost:8764 -agents 8 -duration 60s -warmup 5s \
+//	    -mix search=70,topk=10,stream=10,ingest=8,delete=2 -out report.json
+//
+// N agents issue a configurable read/write/delete/stream mix, query
+// popularity drawn from a Zipf distribution over a deterministic corpus
+// with hot-key churn, closed-loop or (with -rate) open-loop. Each agent
+// records into private internal/telemetry histograms, merged once at
+// report time; the JSON report juxtaposes client-observed and
+// server-reported (/v1/stats) percentiles and attributes 429/503/504
+// sheds separately from errors.
+//
+// Gate mode compares a report against a checked-in baseline:
+//
+//	gsimload ... -compare BENCH_soak.json -gate "p99=15%,errors=0.5%"
+//
+// exits 3 when any gate fires. -replay gates an existing report file
+// without driving traffic.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gsim"
+	"gsim/internal/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		url         = flag.String("url", "", "gsimd base URL (required unless -replay)")
+		agents      = flag.Int("agents", 8, "concurrent workload agents")
+		duration    = flag.Duration("duration", 30*time.Second, "measured window (after warmup)")
+		warmup      = flag.Duration("warmup", 2*time.Second, "warmup excluded from stats")
+		mixSpec     = flag.String("mix", "search=70,topk=10,stream=10,ingest=8,delete=2", "op mix weights")
+		rate        = flag.Float64("rate", 0, "open-loop total arrival rate in ops/sec (0: closed-loop)")
+		corpus      = flag.Int("corpus", 1000, "corpus key space size")
+		zipfS       = flag.Float64("zipf-s", 1.2, "Zipf exponent (> 1)")
+		churn       = flag.Duration("churn", 10*time.Second, "hot-set rotation interval (0: static hot set)")
+		stride      = flag.Uint64("stride", 0, "hot-set rotation stride in keys (0: corpus/16+1)")
+		method      = flag.String("method", "", "search method (empty: server default)")
+		tau         = flag.Int("tau", 3, "GED threshold for issued queries")
+		gamma       = flag.Float64("gamma", 0.9, "probability threshold for issued queries")
+		k           = flag.Int("k", 10, "k for topk queries")
+		ingestBatch = flag.Int("ingest-batch", 4, "graphs per ingest op")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		seed        = flag.Int64("seed", 1, "workload seed (corpus, queries, pacing)")
+		seedCorpus  = flag.Bool("seed-corpus", false, "ingest the corpus into the server before the run")
+		out         = flag.String("out", "", "write the JSON report here (default stdout)")
+		compare     = flag.String("compare", "", "baseline report to gate against")
+		gateSpec    = flag.String("gate", "p99=15%", "gates for -compare, e.g. p99=15%,errors=0.5%")
+		slack       = flag.Duration("slack", 10*time.Millisecond, "absolute latency slack floor for gates")
+		replay      = flag.String("replay", "", "gate an existing report file instead of running")
+		version     = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println("gsimload", gsim.Version)
+		return 0
+	}
+
+	var rep *load.Report
+	if *replay != "" {
+		var err error
+		if rep, err = readReport(*replay); err != nil {
+			return fail(err)
+		}
+	} else {
+		if *url == "" {
+			return fail(fmt.Errorf("-url is required (or -replay)"))
+		}
+		mix, err := load.ParseMix(*mixSpec)
+		if err != nil {
+			return fail(err)
+		}
+		runner, err := load.NewRunner(load.Config{
+			BaseURL:     *url,
+			Agents:      *agents,
+			Duration:    *duration,
+			Warmup:      *warmup,
+			Mix:         mix,
+			Rate:        *rate,
+			Corpus:      *corpus,
+			Zipf:        load.ZipfConfig{S: *zipfS, Churn: *churn, Stride: *stride},
+			Method:      *method,
+			Tau:         *tau,
+			Gamma:       *gamma,
+			K:           *k,
+			IngestBatch: *ingestBatch,
+			Timeout:     *timeout,
+			Seed:        *seed,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if *seedCorpus {
+			n, err := runner.SeedCorpus(ctx)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "seeded %d corpus graphs\n", n)
+		}
+		if rep, err = runner.Run(ctx); err != nil {
+			return fail(err)
+		}
+	}
+
+	if err := writeReport(rep, *out); err != nil {
+		return fail(err)
+	}
+	summarize(rep)
+
+	if *compare != "" {
+		base, err := readReport(*compare)
+		if err != nil {
+			return fail(err)
+		}
+		gates, err := load.ParseGates(*gateSpec)
+		if err != nil {
+			return fail(err)
+		}
+		if bad := rep.Compare(base, gates, slack.Nanoseconds()); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "GATE FAILED (%d violations):\n", len(bad))
+			for _, v := range bad {
+				fmt.Fprintln(os.Stderr, "  -", v)
+			}
+			return 3
+		}
+		fmt.Fprintln(os.Stderr, "gates passed")
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "gsimload:", err)
+	return 1
+}
+
+func readReport(path string) (*load.Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &load.Report{}
+	if err := json.Unmarshal(raw, rep); err != nil {
+		return nil, fmt.Errorf("parsing report %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func writeReport(rep *load.Report, path string) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// summarize prints the human-facing digest to stderr (the JSON report
+// owns stdout).
+func summarize(rep *load.Report) {
+	fmt.Fprintf(os.Stderr, "client %s, server %s — %d agents, %s over %.1fs\n",
+		rep.ClientVersion, rep.ServerVersion, rep.Workload.Agents, rep.Workload.Mix, rep.MeasuredSec)
+	fmt.Fprintf(os.Stderr, "%-8s %10s %10s %10s %10s %10s %8s %6s\n",
+		"op", "ok/s", "p50", "p99", "p999", "max", "errors", "shed")
+	for _, name := range []string{"search", "topk", "stream", "ingest", "delete", "all"} {
+		o, ok := rep.Ops[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%-8s %10.1f %10s %10s %10s %10s %8d %6d\n",
+			name, o.Throughput,
+			time.Duration(o.P50NS), time.Duration(o.P99NS),
+			time.Duration(o.P999NS), time.Duration(o.MaxNS),
+			o.Errors, o.Shed)
+	}
+	fmt.Fprintf(os.Stderr, "cache: client-observed hit ratio %.1f%%, server delta %.1f%% (%d hits / %d misses)\n",
+		rep.ClientCacheHitRatio*100, rep.ServerCacheDelta.HitRatio*100,
+		rep.ServerCacheDelta.Hits, rep.ServerCacheDelta.Misses)
+	if rep.Stream.Scanned > 0 {
+		fmt.Fprintf(os.Stderr, "stream: %d scanned, %d pruned, %d matches, last epoch %d\n",
+			rep.Stream.Scanned, rep.Stream.Pruned, rep.Stream.Matches, rep.Stream.LastEpoch)
+	}
+}

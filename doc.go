@@ -60,9 +60,23 @@
 // scanned-vs-pruned entries per shard, the WAL times appends, fsyncs and
 // group-commit waits, and the HTTP layer adds per-endpoint request
 // histograms, status-class counters and an in-flight gauge. Everything
-// is exposed twice: GET /metrics renders Prometheus text format and
-// /v1/stats carries JSON quantile summaries; a -slowlog threshold logs
-// outlier requests with their stage breakdown and X-Request-Id.
+// is exposed twice: GET /metrics renders Prometheus text format
+// (including gsim_build_info and process_start_time_seconds for scrape
+// identity) and /v1/stats carries JSON quantile summaries plus version
+// and uptime; a -slowlog threshold logs outlier requests with their
+// stage breakdown, remote address and X-Request-Id, rate-limited by a
+// token bucket so overload cannot amplify through the logger.
+//
+// Load harness (internal/load, cmd/gsimload). The same histograms serve
+// the other side of the wire: gsimload drives a live gsimd with N
+// concurrent agents over a deterministic mixed workload (Zipf query
+// popularity with a churning hot set, near-duplicate queries aimed at a
+// generated corpus, NDJSON stream consumption with done-trailer
+// verification, open- or closed-loop pacing) and reports
+// client-observed percentiles from per-agent histograms merged once at
+// report time. Reports are JSON artifacts that gate CI: comparing a run
+// against a checked-in baseline (BENCH_soak.json) fails the build on
+// p99/error-rate/throughput regressions past tolerances.
 //
 // # Storage layer
 //

@@ -1,0 +1,240 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// LatencySummary mirrors the server's /v1/stats latency digest.
+type LatencySummary struct {
+	Count  uint64 `json:"count"`
+	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P99NS  int64  `json:"p99_ns"`
+	P999NS int64  `json:"p999_ns"`
+	MaxNS  int64  `json:"max_ns"`
+}
+
+// ServerStats is the slice of /v1/stats the harness consumes: enough to
+// juxtapose server-reported percentiles with client-observed ones and to
+// compute the cache hit-ratio delta across the run. Unknown fields are
+// ignored, so the mirror only names what the report uses.
+type ServerStats struct {
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Epoch         uint64  `json:"epoch"`
+	Database      struct {
+		Graphs int `json:"graphs"`
+	} `json:"database"`
+	Cache struct {
+		Len           int    `json:"len"`
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		Evictions     uint64 `json:"evictions"`
+		Invalidations uint64 `json:"invalidations"`
+	} `json:"cache"`
+	Server struct {
+		Requests       uint64 `json:"requests"`
+		SlowQueries    uint64 `json:"slow_queries"`
+		SlowlogDropped uint64 `json:"slowlog_dropped"`
+		Shed           uint64 `json:"shed"`
+	} `json:"server"`
+	Latency map[string]LatencySummary `json:"latency"`
+	Stages  struct {
+		Searches uint64                    `json:"searches"`
+		Scanned  uint64                    `json:"scanned"`
+		Pruned   uint64                    `json:"pruned"`
+		Matched  uint64                    `json:"matched"`
+		Latency  map[string]LatencySummary `json:"latency"`
+	} `json:"stages"`
+}
+
+// Client is the harness's HTTP face: thin typed wrappers over the gsimd
+// endpoints, safe for concurrent use by every agent (it holds only the
+// shared http.Client, whose connection pool is sized for the agent
+// count — the default two idle conns per host would churn connections
+// under concurrent load and bill the TCP handshakes to the server).
+type Client struct {
+	base   string
+	hc     *http.Client
+	method string
+	tau    int
+	gamma  float64
+	k      int
+}
+
+// NewClient builds the client for cfg (call on a defaulted Config).
+func NewClient(cfg Config) *Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = cfg.Agents + 8
+	tr.MaxIdleConnsPerHost = cfg.Agents + 8
+	return &Client{
+		base:   strings.TrimRight(cfg.BaseURL, "/"),
+		hc:     &http.Client{Timeout: cfg.Timeout, Transport: tr},
+		method: cfg.Method,
+		tau:    cfg.Tau,
+		gamma:  cfg.Gamma,
+		k:      cfg.K,
+	}
+}
+
+// queryRequest is the /v1/search, /v1/topk and /v1/stream body (the
+// subset of the server's wire options the harness drives).
+type queryRequest struct {
+	Graph  Graph   `json:"graph"`
+	Method string  `json:"method,omitempty"`
+	Tau    int     `json:"tau,omitempty"`
+	Gamma  float64 `json:"gamma,omitempty"`
+	K      int     `json:"k,omitempty"`
+}
+
+func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.hc.Do(req)
+}
+
+// drain consumes and closes a response body so the connection returns to
+// the pool.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// Search issues one threshold query. The returned status is 0 on
+// transport failure; obs carries the cache-outcome header.
+func (c *Client) Search(ctx context.Context, g Graph) (int, obs, error) {
+	return c.query(ctx, "/v1/search", queryRequest{Graph: g, Method: c.method, Tau: c.tau, Gamma: c.gamma})
+}
+
+// TopK issues one ranking query (no gamma — the endpoint rejects it).
+func (c *Client) TopK(ctx context.Context, g Graph) (int, obs, error) {
+	return c.query(ctx, "/v1/topk", queryRequest{Graph: g, Method: c.method, Tau: c.tau, K: c.k})
+}
+
+func (c *Client) query(ctx context.Context, path string, req queryRequest) (int, obs, error) {
+	resp, err := c.post(ctx, path, req)
+	if err != nil {
+		return 0, obs{}, err
+	}
+	defer drain(resp)
+	return resp.StatusCode, obs{cacheHit: resp.Header.Get("X-Gsim-Cache") == "hit"}, nil
+}
+
+// Stream issues one streaming query and consumes the NDJSON body to the
+// done-trailer. Framing violations and mid-stream scan errors surface as
+// the error; a clean trailer fills obs with the scan's own telemetry.
+func (c *Client) Stream(ctx context.Context, g Graph) (int, obs, error) {
+	resp, err := c.post(ctx, "/v1/stream", queryRequest{Graph: g, Method: c.method, Tau: c.tau, Gamma: c.gamma})
+	if err != nil {
+		return 0, obs{}, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, obs{}, nil
+	}
+	res, err := ParseStream(resp.Body)
+	if err != nil {
+		return resp.StatusCode, obs{}, err
+	}
+	if err := res.Trailer.Err(); err != nil {
+		return resp.StatusCode, obs{}, err
+	}
+	return resp.StatusCode, obs{
+		scanned: res.Trailer.Scanned,
+		pruned:  res.Trailer.Pruned,
+		matches: res.Trailer.Matches,
+		epoch:   res.Trailer.Epoch,
+	}, nil
+}
+
+// ingestRequest/ingestResponse mirror POST /v1/graphs.
+type ingestRequest struct {
+	Graphs []Graph `json:"graphs"`
+}
+
+type ingestResponse struct {
+	Stored int    `json:"stored"`
+	Graphs int    `json:"graphs"`
+	Epoch  uint64 `json:"epoch"`
+	IDs    []int  `json:"ids"`
+}
+
+// IngestStatus stores a batch, returning the assigned graph IDs and the
+// HTTP status (0 on transport failure).
+func (c *Client) IngestStatus(ctx context.Context, graphs []Graph) ([]int, int, error) {
+	resp, err := c.post(ctx, "/v1/graphs", ingestRequest{Graphs: graphs})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer drain(resp)
+	if resp.StatusCode/100 != 2 {
+		return nil, resp.StatusCode, nil
+	}
+	var ir ingestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+		return nil, resp.StatusCode, fmt.Errorf("load: decoding ingest response: %w", err)
+	}
+	return ir.IDs, resp.StatusCode, nil
+}
+
+// Ingest is IngestStatus with non-2xx folded into the error — the
+// corpus-seeding path, where a shed batch is a setup failure.
+func (c *Client) Ingest(ctx context.Context, graphs []Graph) ([]int, error) {
+	ids, status, err := c.IngestStatus(ctx, graphs)
+	if err != nil {
+		return nil, err
+	}
+	if status/100 != 2 {
+		return nil, fmt.Errorf("load: ingest answered %d", status)
+	}
+	return ids, nil
+}
+
+// Delete removes one stored graph by ID.
+func (c *Client) Delete(ctx context.Context, id int) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/graphs/"+strconv.Itoa(id), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	drain(resp)
+	return resp.StatusCode, nil
+}
+
+// Stats scrapes /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: /v1/stats answered %d", resp.StatusCode)
+	}
+	st := &ServerStats{}
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		return nil, fmt.Errorf("load: decoding /v1/stats: %w", err)
+	}
+	return st, nil
+}

@@ -1,0 +1,102 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Graph and Edge mirror the server's wire graph: vertex i carries
+// Vertices[i] as its label, edges reference vertex indexes.
+type Graph struct {
+	ID       *int     `json:"id,omitempty"`
+	Name     string   `json:"name,omitempty"`
+	Vertices []string `json:"vertices"`
+	Edges    []Edge   `json:"edges,omitempty"`
+}
+
+// Edge is one undirected labeled edge.
+type Edge struct {
+	U     int    `json:"u"`
+	V     int    `json:"v"`
+	Label string `json:"label,omitempty"`
+}
+
+// Label alphabets — small, so corpus graphs share enough structure for
+// similarity search to produce matches (an all-distinct corpus would make
+// every query score zero and the scan trivially cheap).
+var (
+	vertexLabels = []string{"C", "N", "O", "S", "P", "H"}
+	edgeLabels   = []string{"s", "d", "a"}
+)
+
+// keyRNG derives a deterministic generator for one (seed, key, salt)
+// triple via splitmix64 — the same key names the same graph on every
+// run, machine and Go version (only the rng source feeding rand.New
+// varies by key; math/rand's algorithms are stable).
+func keyRNG(seed int64, key uint64, salt uint64) *rand.Rand {
+	x := uint64(seed) ^ (key * 0x9E3779B97F4A7C15) ^ salt
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return rand.New(rand.NewSource(int64(x)))
+}
+
+// randomGraph builds one connected labeled graph from rng: a spanning
+// tree over 6–14 vertices plus a few extra edges.
+func randomGraph(rng *rand.Rand, name string) Graph {
+	n := 6 + rng.Intn(9)
+	g := Graph{Name: name, Vertices: make([]string, n)}
+	for i := range g.Vertices {
+		g.Vertices[i] = vertexLabels[rng.Intn(len(vertexLabels))]
+	}
+	seen := make(map[[2]int]bool, n+4)
+	add := func(u, v int) {
+		if u == v {
+			return
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			return
+		}
+		seen[[2]int{u, v}] = true
+		g.Edges = append(g.Edges, Edge{U: u, V: v, Label: edgeLabels[rng.Intn(len(edgeLabels))]})
+	}
+	for v := 1; v < n; v++ {
+		add(rng.Intn(v), v) // spanning tree: connect each vertex backwards
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return g
+}
+
+// CorpusGraph names corpus member key: a deterministic function of
+// (seed, key) only, so seeding a corpus on the server and aiming queries
+// at it later agree about what graph key denotes.
+func CorpusGraph(seed int64, key uint64) Graph {
+	return randomGraph(keyRNG(seed, key, 0xC0FFEE), fmt.Sprintf("c%d", key))
+}
+
+// QueryGraph builds the query aimed at corpus key: the corpus graph with
+// one deterministic perturbation (a relabeled vertex), so it is similar
+// to — not identical with — its target, and every query for the same key
+// is byte-identical. Identical repeats share a server-side cache
+// fingerprint, which is what lets Zipf-popular keys produce cache hits.
+func QueryGraph(seed int64, key uint64) Graph {
+	g := CorpusGraph(seed, key)
+	g.Name = fmt.Sprintf("q%d", key)
+	rng := keyRNG(seed, key, 0xBEEF)
+	i := rng.Intn(len(g.Vertices))
+	old := g.Vertices[i]
+	for _, l := range vertexLabels {
+		if l != old {
+			g.Vertices[i] = l
+			break
+		}
+	}
+	return g
+}

@@ -1,0 +1,67 @@
+package load
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCorpusDeterministic: the same (seed, key) names the same graph on
+// every call — the property that lets a run seed the corpus and later
+// aim queries at it.
+func TestCorpusDeterministic(t *testing.T) {
+	for _, key := range []uint64{0, 1, 17, 999, 1 << 40} {
+		a, b := CorpusGraph(3, key), CorpusGraph(3, key)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("key %d: corpus graph not deterministic", key)
+		}
+	}
+	if reflect.DeepEqual(CorpusGraph(3, 1).Vertices, CorpusGraph(4, 1).Vertices) &&
+		reflect.DeepEqual(CorpusGraph(3, 1).Edges, CorpusGraph(4, 1).Edges) {
+		t.Fatal("different seeds produced the same graph")
+	}
+}
+
+// TestCorpusGraphValid: edges reference in-range vertices, no self
+// loops, sizes within the documented band.
+func TestCorpusGraphValid(t *testing.T) {
+	for key := uint64(0); key < 200; key++ {
+		g := CorpusGraph(1, key)
+		n := len(g.Vertices)
+		if n < 6 || n > 14 {
+			t.Fatalf("key %d: %d vertices", key, n)
+		}
+		if len(g.Edges) < n-1 {
+			t.Fatalf("key %d: %d edges cannot span %d vertices", key, len(g.Edges), n)
+		}
+		for _, e := range g.Edges {
+			if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
+				t.Fatalf("key %d: bad edge %+v over %d vertices", key, e, n)
+			}
+		}
+	}
+}
+
+// TestQueryGraphStableAndSimilar: a query repeats byte-identically (so
+// server fingerprints collide and the cache can hit) and differs from
+// its corpus target by exactly one vertex label.
+func TestQueryGraphStableAndSimilar(t *testing.T) {
+	for key := uint64(0); key < 50; key++ {
+		q1, q2 := QueryGraph(2, key), QueryGraph(2, key)
+		if !reflect.DeepEqual(q1, q2) {
+			t.Fatalf("key %d: query not deterministic", key)
+		}
+		c := CorpusGraph(2, key)
+		if !reflect.DeepEqual(q1.Edges, c.Edges) {
+			t.Fatalf("key %d: query edges diverged from corpus", key)
+		}
+		diff := 0
+		for i := range c.Vertices {
+			if q1.Vertices[i] != c.Vertices[i] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("key %d: query differs from corpus in %d labels, want 1", key, diff)
+		}
+	}
+}

@@ -1,0 +1,464 @@
+// Package load is the agent-based load harness behind cmd/gsimload: N
+// concurrent agents drive a live gsimd endpoint with a configurable
+// read/write/delete/stream mix, query popularity drawn from a Zipf
+// distribution over a deterministic corpus with hot-key churn, and
+// either closed-loop (back-to-back) or open-loop (fixed arrival rate)
+// pacing. A warmup phase is excluded from every statistic.
+//
+// Each agent owns its telemetry privately — latency histograms
+// (internal/telemetry, one per operation class), status-code tallies and
+// stream counters — and records into them single-threadedly; nothing is
+// shared between agents while traffic flows, so the measurement never
+// contends with itself. At report time the per-agent snapshots merge
+// once (Snapshot.Merge is associative) into the client-observed
+// p50/p99/p999 per operation class. The run scrapes the server's
+// /v1/stats before and after, so the final Report juxtaposes
+// client-observed and server-reported percentiles, attributes
+// 429/503/504 sheds separately from real errors, and carries the result
+// cache's hit-ratio delta. Report.Compare gates a run against a saved
+// baseline (the CI soak gate).
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gsim/internal/telemetry"
+)
+
+// Op is one operation class of the workload mix.
+type Op int
+
+const (
+	OpSearch Op = iota // POST /v1/search
+	OpTopK             // POST /v1/topk
+	OpStream           // POST /v1/stream (NDJSON consumed to the trailer)
+	OpIngest           // POST /v1/graphs (insert batch)
+	OpDelete           // DELETE /v1/graphs/{id} (ids this run ingested)
+	NumOps
+)
+
+var opNames = [NumOps]string{"search", "topk", "stream", "ingest", "delete"}
+
+// String returns the op's wire name ("search", "ingest", ...).
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// Mix is the workload composition as integer weights per op class. An
+// all-zero mix is invalid.
+type Mix [NumOps]int
+
+// ParseMix reads "search=60,topk=10,stream=10,ingest=15,delete=5".
+// Omitted classes get weight zero.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("load: mix entry %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("load: mix weight %q is not a non-negative integer", val)
+		}
+		found := false
+		for op := Op(0); op < NumOps; op++ {
+			if opNames[op] == strings.TrimSpace(name) {
+				m[op] = w
+				found = true
+				break
+			}
+		}
+		if !found {
+			return m, fmt.Errorf("load: unknown op %q (have %s)", name, strings.Join(opNames[:], ", "))
+		}
+	}
+	if m.total() == 0 {
+		return m, errors.New("load: mix has no positive weight")
+	}
+	return m, nil
+}
+
+func (m Mix) total() int {
+	n := 0
+	for _, w := range m {
+		n += w
+	}
+	return n
+}
+
+// String renders the mix in ParseMix form, zero-weight classes omitted.
+func (m Mix) String() string {
+	var parts []string
+	for op := Op(0); op < NumOps; op++ {
+		if m[op] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", op, m[op]))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// pick draws one op class by weight.
+func (m Mix) pick(rng *rand.Rand) Op {
+	r := rng.Intn(m.total())
+	for op := Op(0); op < NumOps; op++ {
+		if r < m[op] {
+			return op
+		}
+		r -= m[op]
+	}
+	return OpSearch // unreachable
+}
+
+// Config parameterises a Runner.
+type Config struct {
+	// BaseURL is the served gsimd endpoint ("http://localhost:8764").
+	BaseURL string
+	// Agents is the number of concurrent workload agents (default 8).
+	Agents int
+	// Duration is the measured window; the run lasts Warmup + Duration.
+	Duration time.Duration
+	// Warmup is excluded from every statistic (default 0).
+	Warmup time.Duration
+	// Mix is the op-class composition (default search=70, topk=10,
+	// stream=10, ingest=8, delete=2).
+	Mix Mix
+	// Rate is the total open-loop arrival rate in ops/second across all
+	// agents; latency is measured from each op's scheduled arrival, so
+	// a lagging server accrues queue time instead of silently slowing
+	// the generator (no coordinated omission). 0 runs closed-loop:
+	// every agent issues back-to-back.
+	Rate float64
+	// Corpus is the key space queries draw from (default 1000). Corpus
+	// graphs are generated deterministically from Seed, so a given
+	// (Seed, Corpus) names the same graphs on every run and machine.
+	Corpus int
+	// Zipf shapes query popularity and its churn.
+	Zipf ZipfConfig
+	// Method, Tau, Gamma, K parameterise the issued queries. An empty
+	// Method defers to the server's default.
+	Method string
+	Tau    int
+	Gamma  float64
+	K      int
+	// IngestBatch is the graphs per ingest op (default 4).
+	IngestBatch int
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+	// Seed makes corpus, queries and pacing deterministic (default 1).
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Agents <= 0 {
+		cfg.Agents = 8
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = Mix{OpSearch: 70, OpTopK: 10, OpStream: 10, OpIngest: 8, OpDelete: 2}
+	}
+	if cfg.Corpus <= 0 {
+		cfg.Corpus = 1000
+	}
+	cfg.Zipf = cfg.Zipf.withDefaults()
+	if cfg.Tau <= 0 {
+		cfg.Tau = 3
+	}
+	if cfg.Gamma <= 0 {
+		cfg.Gamma = 0.9
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.IngestBatch <= 0 {
+		cfg.IngestBatch = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return cfg
+}
+
+// AgentStats is one agent's private telemetry. Every field is written by
+// exactly one goroutine while traffic flows (the latency histograms are
+// telemetry.Histogram for mergeable snapshots, not because they need the
+// atomics) and read only after the agent has exited — merging happens
+// once, at report time.
+type AgentStats struct {
+	Lat    [NumOps]telemetry.Histogram
+	Count  [NumOps]uint64
+	Errors [NumOps]uint64 // transport failures + unexpected statuses
+	Shed   [NumOps]uint64 // 429/503/504 — attributed, never averaged in
+	Status [NumOps]map[int]uint64
+
+	CacheHits     uint64 // X-Gsim-Cache: hit observed on search/topk
+	StreamScanned uint64 // trailer-reported entries scanned
+	StreamPruned  uint64
+	StreamMatches uint64
+	LastEpoch     uint64 // highest trailer epoch seen
+
+	ingested []int // graph IDs this agent stored and may delete
+}
+
+func newAgentStats() *AgentStats {
+	st := &AgentStats{}
+	for op := range st.Status {
+		st.Status[op] = make(map[int]uint64)
+	}
+	return st
+}
+
+// MergeLatencies folds every agent's per-op histograms into one snapshot
+// per op class — the single merge point the report is built from.
+func MergeLatencies(agents []*AgentStats) [NumOps]*telemetry.Snapshot {
+	var out [NumOps]*telemetry.Snapshot
+	for op := 0; op < int(NumOps); op++ {
+		out[op] = &telemetry.Snapshot{}
+	}
+	buf := &telemetry.Snapshot{}
+	for _, a := range agents {
+		for op := 0; op < int(NumOps); op++ {
+			a.Lat[op].Load(buf)
+			out[op].Merge(buf)
+		}
+	}
+	return out
+}
+
+// isShed reports whether a status is load shedding rather than an error:
+// admission control (429), degraded mode (503) or a blown deadline (504).
+func isShed(status int) bool {
+	return status == 429 || status == 503 || status == 504
+}
+
+// Runner executes one load run.
+type Runner struct {
+	cfg    Config
+	client *Client
+}
+
+// NewRunner validates cfg and builds the runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, errors.New("load: BaseURL is required")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("load: Duration must be positive")
+	}
+	if cfg.Zipf.S <= 1 {
+		return nil, fmt.Errorf("load: Zipf s must be > 1 (got %g)", cfg.Zipf.S)
+	}
+	return &Runner{cfg: cfg, client: NewClient(cfg)}, nil
+}
+
+// SeedCorpus ingests the full corpus (Config.Corpus graphs) into the
+// server in batches, so the key space queries draw from exists
+// server-side. Returns the number of graphs stored.
+func (r *Runner) SeedCorpus(ctx context.Context) (int, error) {
+	const batch = 256
+	stored := 0
+	for lo := 0; lo < r.cfg.Corpus; lo += batch {
+		hi := lo + batch
+		if hi > r.cfg.Corpus {
+			hi = r.cfg.Corpus
+		}
+		graphs := make([]Graph, 0, hi-lo)
+		for k := lo; k < hi; k++ {
+			graphs = append(graphs, CorpusGraph(r.cfg.Seed, uint64(k)))
+		}
+		ids, err := r.client.Ingest(ctx, graphs)
+		if err != nil {
+			return stored, fmt.Errorf("load: seeding corpus graphs [%d,%d): %w", lo, hi, err)
+		}
+		stored += len(ids)
+	}
+	return stored, nil
+}
+
+// Run drives the configured traffic and assembles the report. The
+// context cancels the run early (stats still reflect what completed).
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	before, err := r.client.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("load: scraping /v1/stats before the run: %w", err)
+	}
+
+	start := time.Now()
+	recordFrom := start.Add(r.cfg.Warmup)
+	deadline := recordFrom.Add(r.cfg.Duration)
+	runCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	agents := make([]*AgentStats, r.cfg.Agents)
+	var wg sync.WaitGroup
+	for i := 0; i < r.cfg.Agents; i++ {
+		agents[i] = newAgentStats()
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r.agent(runCtx, i, agents[i], start, recordFrom, deadline)
+		}(i)
+	}
+	wg.Wait()
+	measured := time.Since(recordFrom)
+	if measured > r.cfg.Duration {
+		measured = r.cfg.Duration
+	}
+	if ctx.Err() != nil && measured <= 0 {
+		return nil, ctx.Err()
+	}
+
+	after, err := r.client.Stats(context.WithoutCancel(ctx))
+	if err != nil {
+		return nil, fmt.Errorf("load: scraping /v1/stats after the run: %w", err)
+	}
+	return buildReport(r.cfg, start, measured, agents, before, after), nil
+}
+
+// agent is one workload goroutine: pick an op by mix weight, aim it at a
+// Zipf-popular key, execute, record — closed-loop back-to-back or
+// open-loop against the arrival schedule.
+func (r *Runner) agent(ctx context.Context, idx int, st *AgentStats, start, recordFrom, deadline time.Time) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed + int64(idx)*7919))
+	zipf := newZipfSampler(rng, r.cfg.Zipf, uint64(r.cfg.Corpus), start)
+
+	var interval time.Duration
+	next := start
+	if r.cfg.Rate > 0 {
+		interval = time.Duration(float64(r.cfg.Agents) / r.cfg.Rate * float64(time.Second))
+		// Stagger agents across one interval so arrivals interleave
+		// instead of bursting together at each tick.
+		next = start.Add(interval * time.Duration(idx) / time.Duration(r.cfg.Agents))
+	}
+
+	for {
+		now := time.Now()
+		if !now.Before(deadline) || ctx.Err() != nil {
+			return
+		}
+		issuedAt := now
+		if interval > 0 {
+			if wait := time.Until(next); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return
+				}
+			}
+			issuedAt = next // latency from the scheduled arrival
+			next = next.Add(interval)
+			if !time.Now().Before(deadline) {
+				return
+			}
+		}
+
+		op := r.cfg.Mix.pick(rng)
+		// A delete with nothing to delete becomes an ingest — the
+		// corpus itself is never deleted, so query results stay stable.
+		if op == OpDelete && len(st.ingested) == 0 {
+			op = OpIngest
+		}
+		status, obs, err := r.execute(ctx, op, st, rng, zipf)
+		elapsed := time.Since(issuedAt)
+
+		if time.Now().Before(recordFrom) {
+			continue // warmup: issue traffic, record nothing
+		}
+		st.Count[op]++
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return // run ended mid-request; not the server's fault
+			}
+			st.Errors[op]++
+		case status/100 == 2:
+			st.Lat[op].Observe(elapsed)
+			st.Status[op][status]++
+			if obs.cacheHit {
+				st.CacheHits++
+			}
+			st.StreamScanned += uint64(obs.scanned)
+			st.StreamPruned += uint64(obs.pruned)
+			st.StreamMatches += uint64(obs.matches)
+			if obs.epoch > st.LastEpoch {
+				st.LastEpoch = obs.epoch
+			}
+		case isShed(status):
+			st.Shed[op]++
+			st.Status[op][status]++
+		default:
+			st.Errors[op]++
+			st.Status[op][status]++
+		}
+	}
+}
+
+// obs carries what an op observed beyond its status and latency.
+type obs struct {
+	cacheHit bool
+	scanned  int
+	pruned   int
+	matches  int
+	epoch    uint64
+}
+
+// execute issues one op. The returned status is 0 on transport failure.
+func (r *Runner) execute(ctx context.Context, op Op, st *AgentStats, rng *rand.Rand, zipf *zipfSampler) (int, obs, error) {
+	switch op {
+	case OpSearch:
+		return r.client.Search(ctx, QueryGraph(r.cfg.Seed, zipf.key(time.Now())))
+	case OpTopK:
+		return r.client.TopK(ctx, QueryGraph(r.cfg.Seed, zipf.key(time.Now())))
+	case OpStream:
+		return r.client.Stream(ctx, QueryGraph(r.cfg.Seed, zipf.key(time.Now())))
+	case OpIngest:
+		graphs := make([]Graph, r.cfg.IngestBatch)
+		for i := range graphs {
+			// Fresh keys beyond the corpus: ingested graphs grow the
+			// database without disturbing the query key space.
+			graphs[i] = CorpusGraph(r.cfg.Seed, uint64(r.cfg.Corpus)+uint64(rng.Int63n(1<<40)))
+		}
+		ids, status, err := r.client.IngestStatus(ctx, graphs)
+		if err == nil && status/100 == 2 {
+			st.ingested = append(st.ingested, ids...)
+		}
+		return status, obs{}, err
+	case OpDelete:
+		last := len(st.ingested) - 1
+		id := st.ingested[last]
+		st.ingested = st.ingested[:last]
+		status, err := r.client.Delete(ctx, id)
+		return status, obs{}, err
+	}
+	return 0, obs{}, fmt.Errorf("load: unknown op %d", op)
+}
+
+// sortedCodes renders a status map with deterministic key order — for
+// error messages and tests.
+func sortedCodes(m map[int]uint64) []int {
+	codes := make([]int, 0, len(m))
+	for c := range m {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	return codes
+}

@@ -1,0 +1,174 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gsim"
+	"gsim/internal/server"
+)
+
+// liveServer boots a real served database over HTTP — the same stack
+// gsimload drives in CI, minus the process boundary.
+func liveServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	db := gsim.New(gsim.WithName("load-e2e"))
+	srv := server.New(server.Config{
+		DB:            db,
+		CacheEntries:  256,
+		DefaultMethod: gsim.LSAP,
+		SlowQuery:     0,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestRunnerEndToEnd drives a short mixed workload against a live
+// in-process gsimd stack and checks the report against both the client's
+// own books and the server's /v1/stats.
+func TestRunnerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live workload run")
+	}
+	ts := liveServer(t)
+
+	r, err := NewRunner(Config{
+		BaseURL:  ts.URL,
+		Agents:   4,
+		Duration: 1200 * time.Millisecond,
+		Warmup:   200 * time.Millisecond,
+		Corpus:   60,
+		Method:   "lsap",
+		Tau:      3,
+		K:        5,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	n, err := r.SeedCorpus(ctx)
+	if err != nil {
+		t.Fatalf("seeding corpus: %v", err)
+	}
+	if n != 60 {
+		t.Fatalf("seeded %d graphs, want 60", n)
+	}
+
+	rep, err := r.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Schema != ReportSchema || rep.ClientVersion != gsim.Version || rep.ServerVersion != gsim.Version {
+		t.Fatalf("report identity: schema=%d client=%q server=%q", rep.Schema, rep.ClientVersion, rep.ServerVersion)
+	}
+	if rep.TotalOps == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if rep.ErrorRate != 0 {
+		t.Fatalf("error rate %v against a healthy server; ops=%+v", rep.ErrorRate, rep.Ops["all"])
+	}
+	all, ok := rep.Ops["all"]
+	if !ok || all.OK == 0 || all.P99NS <= 0 || all.P99NS < all.P50NS || all.MaxNS < all.P99NS {
+		t.Fatalf("aggregate op report %+v", all)
+	}
+	search, ok := rep.Ops["search"]
+	if !ok || search.Count == 0 {
+		t.Fatal("search op absent from report despite dominating the mix")
+	}
+	if search.Latency.Count != search.OK {
+		t.Fatalf("exported histogram count %d != ok count %d", search.Latency.Count, search.OK)
+	}
+	if rep.Throughput <= 0 || rep.MeasuredSec < 1.0 {
+		t.Fatalf("throughput=%v measured=%vs", rep.Throughput, rep.MeasuredSec)
+	}
+
+	// The server's books and the client's must agree on traffic volume:
+	// every client-recorded op produced at least one server request.
+	if rep.ServerBefore == nil || rep.ServerAfter == nil {
+		t.Fatal("server stats not scraped")
+	}
+	delta := rep.ServerAfter.Server.Requests - rep.ServerBefore.Server.Requests
+	if delta < rep.TotalOps {
+		t.Fatalf("server saw %d requests, client recorded %d ops", delta, rep.TotalOps)
+	}
+	if rep.ServerAfter.UptimeSeconds <= 0 {
+		t.Fatal("server uptime missing from stats")
+	}
+
+	// Round-trip through JSON — what CI stores as BENCH_soak.json.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalOps != rep.TotalOps || back.Ops["all"].P99NS != rep.Ops["all"].P99NS {
+		t.Fatal("report did not survive a JSON round trip")
+	}
+
+	// Gate logic on real data: a self-comparison passes a 15% gate and a
+	// negative gate with zero slack must fire.
+	if bad := back.Compare(rep, []Gate{{"p99", 15}, {"errors", 0.5}}, int64(5e6)); len(bad) != 0 {
+		t.Fatalf("self-compare flagged: %v", bad)
+	}
+	if bad := back.Compare(rep, []Gate{{"p99", -50}}, 0); len(bad) == 0 {
+		t.Fatal("negative gate did not fire on self-compare")
+	}
+}
+
+// TestRunnerOpenLoop: a paced run honours the requested rate to within a
+// generous band and still produces a clean report.
+func TestRunnerOpenLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live workload run")
+	}
+	ts := liveServer(t)
+	r, err := NewRunner(Config{
+		BaseURL:  ts.URL,
+		Agents:   2,
+		Duration: time.Second,
+		Rate:     100,
+		Corpus:   20,
+		Mix:      Mix{OpSearch: 100},
+		Method:   "lsap",
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SeedCorpus(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ErrorRate != 0 {
+		t.Fatalf("error rate %v", rep.ErrorRate)
+	}
+	// 100 ops/s for ~1s: accept half to double — the point is that pacing
+	// bounds the count, unlike closed-loop which would push thousands.
+	if rep.TotalOps < 50 || rep.TotalOps > 200 {
+		t.Fatalf("paced run recorded %d ops, want ≈100", rep.TotalOps)
+	}
+}
+
+func TestNewRunnerValidates(t *testing.T) {
+	if _, err := NewRunner(Config{BaseURL: "", Duration: time.Second}); err == nil {
+		t.Error("empty base URL accepted")
+	}
+	if _, err := NewRunner(Config{BaseURL: "http://x", Duration: 0}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := NewRunner(Config{BaseURL: "http://x", Duration: time.Second, Zipf: ZipfConfig{S: 0.5}}); err == nil {
+		t.Error("zipf s <= 1 accepted")
+	}
+}

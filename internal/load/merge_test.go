@@ -1,0 +1,63 @@
+package load
+
+import (
+	"sync"
+	"testing"
+
+	"gsim/internal/telemetry"
+)
+
+// TestPerAgentMergeOracle: per-agent histograms written concurrently
+// (each agent strictly single-writer, as the runner guarantees) and
+// merged once at report time reproduce a single-recorder oracle exactly.
+// Run under -race this also proves the measurement path shares nothing
+// between agents while traffic flows — the contention-free property the
+// harness is built on.
+func TestPerAgentMergeOracle(t *testing.T) {
+	const agents = 8
+	const perAgent = 5000
+
+	// Deterministic per-agent value streams.
+	value := func(agent, i int) int64 {
+		return int64((agent*7919+i*13)%2_000_000 + 1)
+	}
+
+	stats := make([]*AgentStats, agents)
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		stats[a] = newAgentStats()
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			for i := 0; i < perAgent; i++ {
+				op := Op(i % int(NumOps))
+				stats[a].Lat[op].RecordNS(value(a, i))
+				stats[a].Count[op]++
+			}
+		}(a)
+	}
+	wg.Wait()
+
+	// Single-recorder oracle: the same values through one histogram per
+	// op, no concurrency.
+	var oracle [NumOps]telemetry.Histogram
+	for a := 0; a < agents; a++ {
+		for i := 0; i < perAgent; i++ {
+			oracle[i%int(NumOps)].RecordNS(value(a, i))
+		}
+	}
+
+	merged := MergeLatencies(stats)
+	want := &telemetry.Snapshot{}
+	for op := 0; op < int(NumOps); op++ {
+		oracle[op].Load(want)
+		if *merged[op] != *want {
+			t.Fatalf("op %s: merged per-agent snapshots diverge from the single-recorder oracle", Op(op))
+		}
+		for _, q := range []float64{0.5, 0.99, 0.999} {
+			if merged[op].Quantile(q) != want.Quantile(q) {
+				t.Fatalf("op %s q=%v: merged %d != oracle %d", Op(op), q, merged[op].Quantile(q), want.Quantile(q))
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trailer mirrors the server's /v1/stream done-trailer: the final NDJSON
+// record reporting how the scan went. Its presence is the contract — a
+// stream without one died mid-flight.
+type Trailer struct {
+	Done      bool    `json:"done"`
+	Scanned   int     `json:"scanned"`
+	Matches   int     `json:"matches"`
+	Pruned    int     `json:"pruned"`
+	Epoch     uint64  `json:"epoch"`
+	ElapsedNS int64   `json:"elapsed_ns"`
+	Stages    *Stages `json:"stages,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// Stages mirrors the server's per-stage breakdown (?debug=trace only).
+type Stages struct {
+	PrepareNS   int64 `json:"prepare_ns"`
+	CutNS       int64 `json:"cut_ns"`
+	ScanNS      int64 `json:"scan_ns"`
+	MergeNS     int64 `json:"merge_ns"`
+	PrefilterNS int64 `json:"prefilter_ns"`
+	ScoreNS     int64 `json:"score_ns"`
+	Pruned      int   `json:"pruned"`
+}
+
+// Err folds the trailer's error field into Go's error domain: nil for a
+// completed scan, the server's message for one that failed mid-stream
+// (after the 200 header was already on the wire).
+func (t *Trailer) Err() error {
+	if t.Done && t.Error == "" {
+		return nil
+	}
+	if t.Error != "" {
+		return fmt.Errorf("load: stream failed mid-scan: %s", t.Error)
+	}
+	return errors.New("load: stream trailer reports done=false with no error")
+}
+
+// Match is one streamed hit line.
+type Match struct {
+	Index int     `json:"index"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// StreamResult is a fully consumed /v1/stream body.
+type StreamResult struct {
+	Matches []Match
+	Trailer Trailer
+}
+
+// Parse failure modes. A torn line is a connection dying mid-record; a
+// missing trailer is a stream that ended cleanly at a line boundary but
+// never said done — both mean the scan's outcome is unknown.
+var (
+	ErrNoTrailer = errors.New("load: stream ended without a done-trailer")
+	ErrTornLine  = errors.New("load: stream ended mid-line (torn record)")
+)
+
+// trailerProbe distinguishes the trailer from match lines: only the
+// trailer carries a "done" key (true or false), so a pointer survives
+// where a bool could not tell done:false from absent.
+type trailerProbe struct {
+	Done *bool `json:"done"`
+}
+
+// ParseStream consumes one NDJSON stream body to completion: match lines
+// into StreamResult.Matches, the done-trailer into StreamResult.Trailer.
+// The NDJSON framing is validated — torn final lines, malformed records,
+// a missing trailer and data after the trailer all fail loudly — but a
+// trailer reporting a mid-stream scan error parses fine: framing and
+// outcome are separate concerns, so callers check Trailer.Err().
+func ParseStream(r io.Reader) (*StreamResult, error) {
+	res := &StreamResult{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sawTrailer := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if sawTrailer {
+			return nil, fmt.Errorf("load: data after the done-trailer: %q", line)
+		}
+		var probe trailerProbe
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("%w: %q: %v", ErrTornLine, truncate(line, 80), err)
+		}
+		if probe.Done != nil {
+			if err := json.Unmarshal(line, &res.Trailer); err != nil {
+				return nil, fmt.Errorf("load: malformed trailer %q: %v", truncate(line, 80), err)
+			}
+			sawTrailer = true
+			continue
+		}
+		var m Match
+		if err := json.Unmarshal(line, &m); err != nil {
+			return nil, fmt.Errorf("load: malformed match line %q: %v", truncate(line, 80), err)
+		}
+		res.Matches = append(res.Matches, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("load: reading stream: %w", err)
+	}
+	if !sawTrailer {
+		return nil, ErrNoTrailer
+	}
+	return res, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}

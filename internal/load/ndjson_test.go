@@ -1,0 +1,108 @@
+package load
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseStreamHappyPath: match lines then a done-trailer.
+func TestParseStreamHappyPath(t *testing.T) {
+	body := `{"index":3,"name":"g3","score":0.91}
+{"index":7,"name":"g7","score":0.85}
+{"done":true,"scanned":54,"matches":2,"pruned":11,"epoch":4,"elapsed_ns":12345}
+`
+	res, err := ParseStream(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 2 || res.Matches[0].Index != 3 || res.Matches[1].Score != 0.85 {
+		t.Fatalf("matches %+v", res.Matches)
+	}
+	tr := res.Trailer
+	if !tr.Done || tr.Scanned != 54 || tr.Matches != 2 || tr.Pruned != 11 || tr.Epoch != 4 || tr.ElapsedNS != 12345 {
+		t.Fatalf("trailer %+v", tr)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("clean trailer errs: %v", err)
+	}
+}
+
+// TestParseStreamTrailerOnly: a scan with zero matches is just a trailer.
+func TestParseStreamTrailerOnly(t *testing.T) {
+	res, err := ParseStream(strings.NewReader(`{"done":true,"scanned":10,"matches":0,"epoch":1,"elapsed_ns":9}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 || !res.Trailer.Done {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+// TestParseStreamMissingTrailer: a stream ending cleanly at a line
+// boundary but without a done record is a dead connection, not success.
+func TestParseStreamMissingTrailer(t *testing.T) {
+	body := `{"index":3,"name":"g3","score":0.91}
+{"index":7,"name":"g7","score":0.85}
+`
+	if _, err := ParseStream(strings.NewReader(body)); !errors.Is(err, ErrNoTrailer) {
+		t.Fatalf("err = %v, want ErrNoTrailer", err)
+	}
+	if _, err := ParseStream(strings.NewReader("")); !errors.Is(err, ErrNoTrailer) {
+		t.Fatalf("empty body err = %v, want ErrNoTrailer", err)
+	}
+}
+
+// TestParseStreamTornLine: a connection dying mid-record leaves a partial
+// JSON line, which must not be silently dropped.
+func TestParseStreamTornLine(t *testing.T) {
+	body := `{"index":3,"name":"g3","score":0.91}
+{"index":7,"na`
+	if _, err := ParseStream(strings.NewReader(body)); !errors.Is(err, ErrTornLine) {
+		t.Fatalf("err = %v, want ErrTornLine", err)
+	}
+	// A torn trailer is torn too — "done" is present but the record is
+	// not valid JSON.
+	body = `{"index":3,"name":"g3","score":0.91}
+{"done":true,"scanned":5`
+	if _, err := ParseStream(strings.NewReader(body)); !errors.Is(err, ErrTornLine) {
+		t.Fatalf("torn trailer err = %v, want ErrTornLine", err)
+	}
+}
+
+// TestParseStreamMidStreamError: an error after the 200 header arrives in
+// the trailer; the framing parses, the outcome is the error.
+func TestParseStreamMidStreamError(t *testing.T) {
+	body := `{"index":3,"name":"g3","score":0.91}
+{"done":false,"scanned":20,"matches":1,"epoch":2,"elapsed_ns":100,"error":"context deadline exceeded"}
+`
+	res, err := ParseStream(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("framing err: %v", err)
+	}
+	if res.Trailer.Done {
+		t.Fatal("trailer reports done despite error")
+	}
+	err = res.Trailer.Err()
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("Trailer.Err() = %v", err)
+	}
+	// done=false with no error string is still not success.
+	res, err = ParseStream(strings.NewReader(`{"done":false,"scanned":1,"matches":0,"epoch":1,"elapsed_ns":1}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trailer.Err() == nil {
+		t.Fatal("done=false without error passed Err()")
+	}
+}
+
+// TestParseStreamDataAfterTrailer: the trailer is the last record.
+func TestParseStreamDataAfterTrailer(t *testing.T) {
+	body := `{"done":true,"scanned":1,"matches":0,"epoch":1,"elapsed_ns":1}
+{"index":9,"name":"g9","score":0.5}
+`
+	if _, err := ParseStream(strings.NewReader(body)); err == nil {
+		t.Fatal("data after trailer parsed silently")
+	}
+}

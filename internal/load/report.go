@@ -1,0 +1,321 @@
+package load
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"gsim"
+	"gsim/internal/telemetry"
+)
+
+// ReportSchema versions the JSON report; Compare refuses to gate across
+// schema versions.
+const ReportSchema = 1
+
+// OpReport is one operation class's client-observed outcome. Latency
+// scalars are derived from the merged per-agent histograms; the full
+// sparse histogram rides along so any rank — not just the scalars — can
+// be re-derived from a stored baseline. Only successful (2xx) requests
+// populate the latency histogram: sheds and errors are attributed in
+// their own counters, never averaged into the percentiles.
+type OpReport struct {
+	Count      uint64                   `json:"count"` // issued in the measured window
+	OK         uint64                   `json:"ok"`
+	Errors     uint64                   `json:"errors"`
+	Shed       uint64                   `json:"shed"` // 429 + 503 + 504
+	Throughput float64                  `json:"throughput_per_sec"`
+	MeanNS     int64                    `json:"mean_ns"`
+	P50NS      int64                    `json:"p50_ns"`
+	P99NS      int64                    `json:"p99_ns"`
+	P999NS     int64                    `json:"p999_ns"`
+	MaxNS      int64                    `json:"max_ns"`
+	Status     map[string]uint64        `json:"status,omitempty"`
+	Latency    telemetry.SparseSnapshot `json:"latency"`
+}
+
+// WorkloadSpec records the configuration that produced a report, so a
+// baseline comparison across different workloads fails loudly instead of
+// gating apples against oranges.
+type WorkloadSpec struct {
+	Agents      int     `json:"agents"`
+	DurationSec float64 `json:"duration_sec"`
+	WarmupSec   float64 `json:"warmup_sec"`
+	Mix         string  `json:"mix"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"` // 0: closed-loop
+	Corpus      int     `json:"corpus"`
+	ZipfS       float64 `json:"zipf_s"`
+	ChurnSec    float64 `json:"churn_sec"`
+	Method      string  `json:"method,omitempty"`
+	Tau         int     `json:"tau"`
+	Seed        int64   `json:"seed"`
+}
+
+// CacheDelta is the server result cache's movement across the run.
+type CacheDelta struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// StreamTotals aggregates what the streamed done-trailers reported.
+type StreamTotals struct {
+	Scanned   uint64 `json:"scanned"`
+	Pruned    uint64 `json:"pruned"`
+	Matches   uint64 `json:"matches"`
+	LastEpoch uint64 `json:"last_epoch"`
+}
+
+// Report is the machine-readable outcome of one load run: client-observed
+// latency per op class (the "all" key aggregates every class), error and
+// shed rates, the cache hit-ratio delta, and the server's own /v1/stats
+// view scraped before and after — so client-observed and server-reported
+// percentiles sit side by side in one artifact.
+type Report struct {
+	Schema        int    `json:"schema"`
+	StartedAt     string `json:"started_at"`
+	ClientVersion string `json:"client_version"`
+	ServerVersion string `json:"server_version,omitempty"`
+
+	Workload    WorkloadSpec `json:"workload"`
+	MeasuredSec float64      `json:"measured_sec"`
+
+	TotalOps   uint64  `json:"total_ops"`
+	Throughput float64 `json:"throughput_per_sec"` // successful ops/sec
+	ErrorRate  float64 `json:"error_rate"`
+	ShedRate   float64 `json:"shed_rate"`
+
+	Ops map[string]*OpReport `json:"ops"`
+
+	ClientCacheHitRatio float64      `json:"client_cache_hit_ratio"`
+	ServerCacheDelta    CacheDelta   `json:"server_cache_delta"`
+	Stream              StreamTotals `json:"stream"`
+
+	ServerBefore *ServerStats `json:"server_before,omitempty"`
+	ServerAfter  *ServerStats `json:"server_after,omitempty"`
+}
+
+// buildReport folds the per-agent stats — the single merge point — and
+// the two stats scrapes into the report.
+func buildReport(cfg Config, start time.Time, measured time.Duration, agents []*AgentStats, before, after *ServerStats) *Report {
+	merged := MergeLatencies(agents)
+	secs := measured.Seconds()
+	if secs <= 0 {
+		secs = 1e-9 // a cancelled run still renders without dividing by zero
+	}
+
+	rep := &Report{
+		Schema:        ReportSchema,
+		StartedAt:     start.UTC().Format(time.RFC3339),
+		ClientVersion: gsim.Version,
+		ServerVersion: after.Version,
+		Workload: WorkloadSpec{
+			Agents:      cfg.Agents,
+			DurationSec: cfg.Duration.Seconds(),
+			WarmupSec:   cfg.Warmup.Seconds(),
+			Mix:         cfg.Mix.String(),
+			RatePerSec:  cfg.Rate,
+			Corpus:      cfg.Corpus,
+			ZipfS:       cfg.Zipf.withDefaults().S,
+			ChurnSec:    cfg.Zipf.withDefaults().Churn.Seconds(),
+			Method:      cfg.Method,
+			Tau:         cfg.Tau,
+			Seed:        cfg.Seed,
+		},
+		MeasuredSec:  secs,
+		Ops:          make(map[string]*OpReport, int(NumOps)+1),
+		ServerBefore: before,
+		ServerAfter:  after,
+	}
+
+	all := &OpReport{Status: make(map[string]uint64)}
+	allSnap := &telemetry.Snapshot{}
+	var cacheSamples, searchOK uint64
+	for op := Op(0); op < NumOps; op++ {
+		o := &OpReport{Status: make(map[string]uint64)}
+		for _, a := range agents {
+			o.Count += a.Count[op]
+			o.Errors += a.Errors[op]
+			o.Shed += a.Shed[op]
+			for code, n := range a.Status[op] {
+				o.Status[strconv.Itoa(code)] += n
+			}
+		}
+		snap := merged[op]
+		o.OK = snap.Total()
+		o.Throughput = float64(o.OK) / secs
+		o.MeanNS = snap.MeanNS()
+		o.P50NS = snap.Quantile(0.50)
+		o.P99NS = snap.Quantile(0.99)
+		o.P999NS = snap.Quantile(0.999)
+		o.MaxNS = snap.MaxNS()
+		o.Latency = snap.Export()
+		if o.Count > 0 {
+			rep.Ops[op.String()] = o
+		}
+		all.Count += o.Count
+		all.Errors += o.Errors
+		all.Shed += o.Shed
+		for code, n := range o.Status {
+			all.Status[code] += n
+		}
+		allSnap.Merge(snap)
+		if op == OpSearch || op == OpTopK {
+			searchOK += o.OK
+		}
+	}
+	all.OK = allSnap.Total()
+	all.Throughput = float64(all.OK) / secs
+	all.MeanNS = allSnap.MeanNS()
+	all.P50NS = allSnap.Quantile(0.50)
+	all.P99NS = allSnap.Quantile(0.99)
+	all.P999NS = allSnap.Quantile(0.999)
+	all.MaxNS = allSnap.MaxNS()
+	all.Latency = allSnap.Export()
+	rep.Ops["all"] = all
+
+	rep.TotalOps = all.Count
+	rep.Throughput = all.Throughput
+	if all.Count > 0 {
+		rep.ErrorRate = float64(all.Errors) / float64(all.Count)
+		rep.ShedRate = float64(all.Shed) / float64(all.Count)
+	}
+
+	for _, a := range agents {
+		cacheSamples += a.CacheHits
+		rep.Stream.Scanned += a.StreamScanned
+		rep.Stream.Pruned += a.StreamPruned
+		rep.Stream.Matches += a.StreamMatches
+		if a.LastEpoch > rep.Stream.LastEpoch {
+			rep.Stream.LastEpoch = a.LastEpoch
+		}
+	}
+	if searchOK > 0 {
+		rep.ClientCacheHitRatio = float64(cacheSamples) / float64(searchOK)
+	}
+	dh := after.Cache.Hits - before.Cache.Hits
+	dm := after.Cache.Misses - before.Cache.Misses
+	rep.ServerCacheDelta = CacheDelta{Hits: dh, Misses: dm}
+	if dh+dm > 0 {
+		rep.ServerCacheDelta.HitRatio = float64(dh) / float64(dh+dm)
+	}
+	return rep
+}
+
+// Gate is one regression threshold: a metric name and the tolerated
+// change in percent. Latency gates (p50, p99, p999, max, mean) fire when
+// the current value exceeds baseline*(1+pct/100) + slack — the additive
+// slack keeps microsecond-scale baselines from tripping on scheduler
+// noise. Rate gates (errors, shed) compare in percentage
+// points; throughput fires on a drop past pct. Negative pct is legal and
+// means "must improve" — comparing a report against itself with a
+// negative gate and zero slack always fires, which is how CI proves the
+// gate mechanism itself works.
+type Gate struct {
+	Metric string
+	Pct    float64
+}
+
+// ParseGates reads "p99=15%,errors=0.5%" (the % suffix is optional).
+func ParseGates(s string) ([]Gate, error) {
+	var gates []Gate
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("load: gate %q is not metric=pct", part)
+		}
+		name = strings.TrimSpace(name)
+		switch name {
+		case "p50", "p99", "p999", "max", "mean", "errors", "shed", "throughput":
+		default:
+			return nil, fmt.Errorf("load: unknown gate metric %q", name)
+		}
+		pct, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(val), "%"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: gate threshold %q is not a number", val)
+		}
+		gates = append(gates, Gate{Metric: name, Pct: pct})
+	}
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("load: no gates in %q", s)
+	}
+	return gates, nil
+}
+
+// gateMinCount is the smallest per-op sample population a latency gate
+// will judge: below it the tail quantiles are a handful of samples and
+// any verdict is noise. The "all" aggregate is always judged.
+const gateMinCount = 100
+
+// latencyNS extracts one latency scalar.
+func (o *OpReport) latencyNS(metric string) int64 {
+	switch metric {
+	case "p50":
+		return o.P50NS
+	case "p99":
+		return o.P99NS
+	case "p999":
+		return o.P999NS
+	case "max":
+		return o.MaxNS
+	case "mean":
+		return o.MeanNS
+	}
+	return 0
+}
+
+// Compare judges this report against a baseline: every returned string is
+// one violated gate. slackNS is the absolute latency floor (see Gate).
+func (r *Report) Compare(base *Report, gates []Gate, slackNS int64) []string {
+	var bad []string
+	if base.Schema != r.Schema {
+		return []string{fmt.Sprintf("baseline schema %d != report schema %d — refresh the baseline", base.Schema, r.Schema)}
+	}
+	if base.Workload.Mix != r.Workload.Mix || base.Workload.Agents != r.Workload.Agents {
+		bad = append(bad, fmt.Sprintf("workload mismatch: baseline agents=%d mix=%s, report agents=%d mix=%s — gates compare like against like",
+			base.Workload.Agents, base.Workload.Mix, r.Workload.Agents, r.Workload.Mix))
+	}
+	for _, g := range gates {
+		switch g.Metric {
+		case "errors", "shed":
+			cur, was := r.ErrorRate, base.ErrorRate
+			if g.Metric == "shed" {
+				cur, was = r.ShedRate, base.ShedRate
+			}
+			if cur*100 > was*100+g.Pct {
+				bad = append(bad, fmt.Sprintf("%s rate %.3f%% exceeds baseline %.3f%% + %.3gpp",
+					g.Metric, cur*100, was*100, g.Pct))
+			}
+		case "throughput":
+			cur, was := r.Throughput, base.Throughput
+			if cur < was*(1-g.Pct/100) {
+				bad = append(bad, fmt.Sprintf("throughput %.1f/s dropped more than %.3g%% below baseline %.1f/s",
+					cur, g.Pct, was))
+			}
+		default: // latency metrics, per op class present in both reports
+			for name, cur := range r.Ops {
+				was, ok := base.Ops[name]
+				if !ok {
+					continue
+				}
+				if name != "all" && (cur.OK < gateMinCount || was.OK < gateMinCount) {
+					continue
+				}
+				c, w := cur.latencyNS(g.Metric), was.latencyNS(g.Metric)
+				// Additive slack: the gate is w*(1+pct/100)+slack, so a
+				// noise floor protects tiny baselines without muting
+				// negative ("must improve") gates on equal values.
+				if float64(c) > float64(w)*(1+g.Pct/100)+float64(slackNS) {
+					bad = append(bad, fmt.Sprintf("%s %s regressed: %s -> %s (gate %+.3g%%, slack %s)",
+						name, g.Metric, time.Duration(w), time.Duration(c), g.Pct, time.Duration(slackNS)))
+				}
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,125 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("search=60, topk=10,stream=10,ingest=15,delete=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[OpSearch] != 60 || m[OpDelete] != 5 || m.total() != 100 {
+		t.Fatalf("mix %+v", m)
+	}
+	if m.String() != "search=60,topk=10,stream=10,ingest=15,delete=5" {
+		t.Fatalf("round trip %q", m.String())
+	}
+	for _, bad := range []string{"", "search", "search=-1", "write=10", "search=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseGates(t *testing.T) {
+	gs, err := ParseGates("p99=15%, errors=0.5, throughput=-10%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 3 || gs[0] != (Gate{"p99", 15}) || gs[1] != (Gate{"errors", 0.5}) || gs[2] != (Gate{"throughput", -10}) {
+		t.Fatalf("gates %+v", gs)
+	}
+	for _, bad := range []string{"", "p98=5%", "p99", "p99=fast"} {
+		if _, err := ParseGates(bad); err == nil {
+			t.Errorf("ParseGates(%q) accepted", bad)
+		}
+	}
+}
+
+// gateReport builds a minimal report for Compare tests.
+func gateReport(p99NS int64, ok uint64, errRate, throughput float64) *Report {
+	return &Report{
+		Schema:     ReportSchema,
+		Workload:   WorkloadSpec{Agents: 4, Mix: "search=100"},
+		Throughput: throughput,
+		ErrorRate:  errRate,
+		Ops: map[string]*OpReport{
+			"all":    {OK: ok, P99NS: p99NS},
+			"search": {OK: ok, P99NS: p99NS},
+		},
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := gateReport(10_000_000, 5000, 0.001, 900)
+	gates := []Gate{{"p99", 15}, {"errors", 0.5}, {"throughput", 20}}
+
+	// Within every threshold: clean.
+	cur := gateReport(11_000_000, 5000, 0.002, 850)
+	if bad := cur.Compare(base, gates, int64(1e6)); len(bad) != 0 {
+		t.Fatalf("clean run flagged: %v", bad)
+	}
+
+	// p99 +50%: fires for both "all" and "search".
+	cur = gateReport(15_000_000, 5000, 0.001, 900)
+	bad := cur.Compare(base, gates, int64(1e6))
+	if len(bad) != 2 || !strings.Contains(bad[0], "p99") {
+		t.Fatalf("p99 regression verdict %v", bad)
+	}
+
+	// Same regression under a huge slack floor: suppressed.
+	if bad := cur.Compare(base, gates, int64(1e12)); len(bad) != 0 {
+		t.Fatalf("slack floor ignored: %v", bad)
+	}
+
+	// Error rate jumps a full point past the 0.5pp gate.
+	cur = gateReport(10_000_000, 5000, 0.011, 900)
+	if bad := cur.Compare(base, gates, int64(1e6)); len(bad) != 1 || !strings.Contains(bad[0], "errors") {
+		t.Fatalf("error-rate verdict %v", bad)
+	}
+
+	// Throughput collapses by a third.
+	cur = gateReport(10_000_000, 5000, 0.001, 600)
+	if bad := cur.Compare(base, gates, int64(1e6)); len(bad) != 1 || !strings.Contains(bad[0], "throughput") {
+		t.Fatalf("throughput verdict %v", bad)
+	}
+
+	// Low-population ops are not judged (tail of 3 samples is noise) —
+	// but the aggregate still is.
+	cur = gateReport(15_000_000, 3, 0.001, 900)
+	small := gateReport(10_000_000, 3, 0.001, 900)
+	bad = cur.Compare(small, []Gate{{"p99", 15}}, int64(1e6))
+	if len(bad) != 1 || !strings.Contains(bad[0], "all p99") {
+		t.Fatalf("low-count verdict %v", bad)
+	}
+}
+
+// TestCompareNegativeGateSelf: a negative gate with zero slack fires on a
+// self-comparison — the CI soak job uses exactly this to prove the gate
+// mechanism can fail before trusting that it passed.
+func TestCompareNegativeGateSelf(t *testing.T) {
+	rep := gateReport(10_000_000, 5000, 0.001, 900)
+	if bad := rep.Compare(rep, []Gate{{"p99", -50}}, 0); len(bad) == 0 {
+		t.Fatal("negative self-gate did not fire")
+	}
+	if bad := rep.Compare(rep, []Gate{{"p99", 0}}, 0); len(bad) != 0 {
+		t.Fatalf("zero-tolerance self-gate fired on equal values: %v", bad)
+	}
+}
+
+// TestCompareMismatch: schema and workload mismatches fail loudly.
+func TestCompareMismatch(t *testing.T) {
+	rep := gateReport(1, 5000, 0, 1)
+	base := gateReport(1, 5000, 0, 1)
+	base.Schema = ReportSchema + 1
+	if bad := rep.Compare(base, []Gate{{"p99", 15}}, 0); len(bad) != 1 || !strings.Contains(bad[0], "schema") {
+		t.Fatalf("schema mismatch verdict %v", bad)
+	}
+	base = gateReport(1, 5000, 0, 1)
+	base.Workload.Mix = "ingest=100"
+	if bad := rep.Compare(base, []Gate{{"p99", 15}}, int64(1e9)); len(bad) == 0 || !strings.Contains(bad[0], "workload mismatch") {
+		t.Fatalf("workload mismatch verdict %v", bad)
+	}
+}

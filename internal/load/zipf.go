@@ -1,0 +1,80 @@
+package load
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ZipfConfig shapes query popularity: rank popularity follows a Zipf
+// distribution (rank r drawn with probability ∝ 1/(V+r)^S), and the hot
+// set rotates on a churn interval so a result cache is stressed
+// realistically — steady heavy hitters for one interval, then a wholesale
+// shift to a different region of the corpus.
+type ZipfConfig struct {
+	// S is the Zipf exponent; must be > 1 (default 1.2, a moderately
+	// skewed web-like popularity curve).
+	S float64
+	// V is the Zipf offset; must be >= 1 (default 1).
+	V float64
+	// Churn is the hot-set rotation interval; 0 disables rotation
+	// (default 10s).
+	Churn time.Duration
+	// Stride is how far the key space rotates per churn interval, in
+	// keys (default corpus/16 + 1). Any stride is a bijection on the key
+	// space, so rotation shifts popularity without collapsing keys.
+	Stride uint64
+}
+
+func (z ZipfConfig) withDefaults() ZipfConfig {
+	if z.S == 0 {
+		z.S = 1.2
+	}
+	if z.V < 1 {
+		z.V = 1
+	}
+	if z.Churn == 0 {
+		z.Churn = 10 * time.Second
+	}
+	return z
+}
+
+// zipfSampler maps Zipf-popular ranks onto corpus keys with time-based
+// rotation. Each agent owns one (they share no state); all samplers in a
+// run share the runner's start time, so every agent agrees on which keys
+// are hot at any instant — without agreement the "hot set" would smear
+// across the corpus and nothing would actually be hot.
+type zipfSampler struct {
+	z      *rand.Zipf
+	n      uint64
+	stride uint64
+	churn  time.Duration
+	start  time.Time
+}
+
+func newZipfSampler(rng *rand.Rand, cfg ZipfConfig, n uint64, start time.Time) *zipfSampler {
+	cfg = cfg.withDefaults()
+	stride := cfg.Stride
+	if stride == 0 {
+		stride = n/16 + 1
+	}
+	return &zipfSampler{
+		z:      rand.NewZipf(rng, cfg.S, cfg.V, n-1),
+		n:      n,
+		stride: stride,
+		churn:  cfg.Churn,
+		start:  start,
+	}
+}
+
+// key draws one corpus key: Zipf rank, rotated by how many churn
+// intervals have elapsed. rank→key is a modular shift — a bijection for
+// any stride — so the popularity *distribution* is invariant under
+// rotation; only which keys are popular moves.
+func (s *zipfSampler) key(now time.Time) uint64 {
+	rank := s.z.Uint64()
+	if s.churn <= 0 {
+		return rank
+	}
+	rot := uint64(now.Sub(s.start) / s.churn)
+	return (rank + rot*s.stride) % s.n
+}

@@ -1,0 +1,96 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestZipfSkew: popularity is genuinely skewed — the most popular key
+// dominates a uniform share by a wide margin — and every key stays in
+// range.
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	start := time.Unix(1000, 0)
+	s := newZipfSampler(rng, ZipfConfig{S: 1.5, Churn: time.Hour}, 100, start)
+	counts := make(map[uint64]int)
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		k := s.key(start) // fixed instant: no rotation inside the loop
+		if k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	top := 0
+	for _, n := range counts {
+		if n > top {
+			top = n
+		}
+	}
+	if top < draws/20 { // uniform would give 1% per key; Zipf s=1.5 far more
+		t.Fatalf("top key drew %d/%d — not skewed", top, draws)
+	}
+}
+
+// TestZipfChurnRotatesHotSet: after one churn interval the hot key moves
+// by exactly the stride (mod n) — the rotation is a wholesale shift of
+// the popularity curve, not a reshuffle.
+func TestZipfChurnRotatesHotSet(t *testing.T) {
+	start := time.Unix(1000, 0)
+	const n, stride = 100, 7
+	cfg := ZipfConfig{S: 20, Churn: time.Minute, Stride: stride} // s=20: rank 0 almost surely
+	mode := func(at time.Time) uint64 {
+		rng := rand.New(rand.NewSource(7))
+		s := newZipfSampler(rng, cfg, n, start)
+		counts := make(map[uint64]int)
+		for i := 0; i < 200; i++ {
+			counts[s.key(at)]++
+		}
+		var best uint64
+		top := -1
+		for k, c := range counts {
+			if c > top {
+				best, top = k, c
+			}
+		}
+		return best
+	}
+	m0 := mode(start)
+	m1 := mode(start.Add(time.Minute))
+	m3 := mode(start.Add(3 * time.Minute))
+	if m1 != (m0+stride)%n {
+		t.Fatalf("after one interval hot key %d, want %d", m1, (m0+stride)%n)
+	}
+	if m3 != (m0+3*stride)%n {
+		t.Fatalf("after three intervals hot key %d, want %d", m3, (m0+3*stride)%n)
+	}
+}
+
+// TestZipfAgentsAgreeOnHotSet: samplers seeded differently but sharing
+// the run start agree on the rotation offset — the property that makes a
+// hot set exist across agents at all.
+func TestZipfAgentsAgreeOnHotSet(t *testing.T) {
+	start := time.Unix(5000, 0)
+	cfg := ZipfConfig{S: 20, Churn: time.Minute, Stride: 13}
+	at := start.Add(5 * time.Minute)
+	hot := func(seed int64) uint64 {
+		rng := rand.New(rand.NewSource(seed))
+		s := newZipfSampler(rng, cfg, 50, start)
+		counts := make(map[uint64]int)
+		for i := 0; i < 200; i++ {
+			counts[s.key(at)]++
+		}
+		var best uint64
+		top := -1
+		for k, c := range counts {
+			if c > top {
+				best, top = k, c
+			}
+		}
+		return best
+	}
+	if a, b := hot(1), hot(99); a != b {
+		t.Fatalf("agents disagree on the hot key: %d vs %d", a, b)
+	}
+}

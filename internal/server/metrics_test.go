@@ -1,15 +1,18 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
+
+	"gsim"
+	"gsim/internal/load"
 )
 
 // httptestRequest builds a bodyless request, optionally carrying an
@@ -40,26 +43,20 @@ func recordRequest(h http.Handler, req *http.Request) *httptest.ResponseRecorder
 	return rec
 }
 
-// streamAndTrail posts a stream request and decodes the final NDJSON
-// record.
-func streamAndTrail(t *testing.T, h http.Handler, path string, body any) streamTrailer {
+// streamAndTrail posts a stream request and consumes the NDJSON body via
+// the shared parser (internal/load) — the one gsimload runs, so the
+// handler's framing is asserted by the exact consumer production uses.
+func streamAndTrail(t *testing.T, h http.Handler, path string, body any) load.Trailer {
 	t.Helper()
 	rec := recordRequest(h, httptestRequestJSON(t, "POST", path, body))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("%s: status %d: %s", path, rec.Code, rec.Body.String())
 	}
-	var last string
-	sc := bufio.NewScanner(rec.Body)
-	for sc.Scan() {
-		if line := strings.TrimSpace(sc.Text()); line != "" {
-			last = line
-		}
+	res, err := load.ParseStream(rec.Body)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
 	}
-	var trailer streamTrailer
-	if err := json.Unmarshal([]byte(last), &trailer); err != nil {
-		t.Fatalf("decoding trailer %q: %v", last, err)
-	}
-	return trailer
+	return res.Trailer
 }
 
 // TestMetricsExposition: after serving traffic, GET /metrics renders the
@@ -257,7 +254,7 @@ func TestSlowQueryLog(t *testing.T) {
 	}
 	line := buf.String()
 	for _, want := range []string{
-		"slow query id=slow-req-1", "endpoint=/v1/search", "status=200",
+		"slow query id=slow-req-1", "remote=", "endpoint=/v1/search", "status=200",
 		"prepare=", "scan=", "merge=", "scanned=54",
 	} {
 		if !strings.Contains(line, want) {
@@ -266,6 +263,71 @@ func TestSlowQueryLog(t *testing.T) {
 	}
 	if srv.metrics.slowQueries.Load() != 1 {
 		t.Fatalf("slow query counter %d, want 1", srv.metrics.slowQueries.Load())
+	}
+}
+
+// TestSlowlogRateLimit: a burst of slow requests emits at most the token
+// bucket's burst in log lines; the rest are counted as dropped while the
+// slow-query counter still sees every one.
+func TestSlowlogRateLimit(t *testing.T) {
+	fx := newFixture(t, 0)
+	var buf bytes.Buffer
+	srv := New(Config{
+		DB: fx.db, SlowQuery: time.Nanosecond,
+		SlowLogPerSec: 0.0001, SlowLogBurst: 2, // refill is negligible within the test
+		Logger: log.New(&buf, "", 0),
+	})
+	h := srv.Handler()
+	for i := 0; i < 5; i++ {
+		if rec := recordRequest(h, httptestRequest("GET", "/healthz", "")); rec.Code != http.StatusOK {
+			t.Fatalf("healthz %d: %d", i, rec.Code)
+		}
+	}
+	if got := strings.Count(buf.String(), "slow query"); got != 2 {
+		t.Fatalf("emitted %d slow-query lines, want burst of 2:\n%s", got, buf.String())
+	}
+	if n := srv.metrics.slowQueries.Load(); n != 5 {
+		t.Fatalf("slow query counter %d, want 5 (dropped lines still count)", n)
+	}
+	if n := srv.metrics.slowlogDropped.Load(); n != 3 {
+		t.Fatalf("dropped counter %d, want 3", n)
+	}
+	var st statsResponse
+	do(t, h, "GET", "/v1/stats", nil, &st)
+	if st.Server.SlowlogDropped != 3 {
+		t.Fatalf("/v1/stats slowlog_dropped %d, want 3", st.Server.SlowlogDropped)
+	}
+	// The stats request itself crossed the 1ns threshold with an empty
+	// bucket, so the scrape that follows reports one more drop.
+	rec := do(t, h, "GET", "/metrics", nil, nil)
+	if !strings.Contains(rec.Body.String(), "gsim_slowlog_dropped_total 4") {
+		t.Fatal("/metrics missing gsim_slowlog_dropped_total 4")
+	}
+}
+
+// TestBuildInfoAndUptime: the process identifies its build on /metrics
+// (gsim_build_info, process_start_time_seconds) and /v1/stats (version,
+// uptime_seconds) — what gsimload embeds in soak reports.
+func TestBuildInfoAndUptime(t *testing.T) {
+	fx := newFixture(t, 0)
+	h := fx.srv.Handler()
+	rec := do(t, h, "GET", "/metrics", nil, nil)
+	body := rec.Body.String()
+	for _, want := range []string{
+		`gsim_build_info{version="` + gsim.Version + `",goversion="` + runtime.Version() + `"} 1`,
+		"process_start_time_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	var st statsResponse
+	do(t, h, "GET", "/v1/stats", nil, &st)
+	if st.Version != gsim.Version {
+		t.Fatalf("stats version %q, want %q", st.Version, gsim.Version)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Fatalf("uptime_seconds %v, want > 0", st.UptimeSeconds)
 	}
 }
 

@@ -79,6 +79,14 @@ type Config struct {
 	// SlowQuery logs any request at or over this duration with its stage
 	// breakdown (0 disables the slow-query log).
 	SlowQuery time.Duration
+	// SlowLogPerSec rate-limits slow-query line emission (token bucket)
+	// so an overload burst — exactly when everything is slow — cannot
+	// turn the slowlog into its own bottleneck. Dropped lines are still
+	// counted (slow_queries in /v1/stats, gsim_slowlog_dropped_total on
+	// /metrics). 0 defaults to 10 lines/s; negative disables the limit.
+	SlowLogPerSec float64
+	// SlowLogBurst is the token bucket's burst capacity (default 20).
+	SlowLogBurst int
 	// Logger receives slow-query lines (nil: the standard logger).
 	Logger *log.Logger
 	// DisableMetrics removes the GET /metrics Prometheus endpoint from
@@ -114,8 +122,9 @@ type Server struct {
 	requests atomic.Uint64 // served requests, all endpoints
 	metrics  httpMetrics   // per-endpoint latency, status classes, in-flight
 
-	limiter  *limiter    // admission control; nil = unlimited
-	draining atomic.Bool // shutdown in progress: /readyz answers 503
+	limiter   *limiter     // admission control; nil = unlimited
+	slowLimit *tokenBucket // slowlog emission rate limit; nil = unlimited
+	draining  atomic.Bool  // shutdown in progress: /readyz answers 503
 }
 
 // New returns a server over cfg.DB.
@@ -126,12 +135,21 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 1024
 	}
+	slowRate := cfg.SlowLogPerSec
+	if slowRate == 0 {
+		slowRate = 10
+	}
+	slowBurst := cfg.SlowLogBurst
+	if slowBurst <= 0 {
+		slowBurst = 20
+	}
 	return &Server{
-		db:      cfg.DB,
-		cache:   qcache.New(cfg.CacheEntries),
-		cfg:     cfg,
-		start:   time.Now(),
-		limiter: newLimiter(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		db:        cfg.DB,
+		cache:     qcache.New(cfg.CacheEntries),
+		cfg:       cfg,
+		start:     time.Now(),
+		limiter:   newLimiter(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		slowLimit: newTokenBucket(slowRate, slowBurst),
 	}
 }
 
@@ -220,14 +238,19 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 
 // statsResponse is the /v1/stats body.
 type statsResponse struct {
-	Database    dbStats        `json:"database"`
-	Priors      priorStats     `json:"priors"`
-	Model       modelStats     `json:"model"`
-	Prefilter   prefilterStats `json:"prefilter"`
-	Persistence persistStats   `json:"persistence"`
-	Epoch       uint64         `json:"epoch"`
-	Cache       cacheStats     `json:"cache"`
-	Server      serverCounts   `json:"server"`
+	// Version and UptimeSeconds identify the build behind the answers —
+	// the same pair gsim_build_info / process_start_time_seconds expose
+	// on /metrics, so a load report can embed the server's identity.
+	Version       string         `json:"version"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Database      dbStats        `json:"database"`
+	Priors        priorStats     `json:"priors"`
+	Model         modelStats     `json:"model"`
+	Prefilter     prefilterStats `json:"prefilter"`
+	Persistence   persistStats   `json:"persistence"`
+	Epoch         uint64         `json:"epoch"`
+	Cache         cacheStats     `json:"cache"`
+	Server        serverCounts   `json:"server"`
 	// Health is the durability health machine: state, current-episode
 	// cause, and the transition counters (see gsim.HealthInfo).
 	Health healthBlock `json:"health"`
@@ -344,6 +367,9 @@ type serverCounts struct {
 	Shed        uint64 `json:"shed"`
 	MaxInFlight int    `json:"max_in_flight"`
 	Draining    bool   `json:"draining"`
+	// SlowlogDropped counts slow-query lines suppressed by the emission
+	// rate limit; SlowQueries still counts every slow request.
+	SlowlogDropped uint64 `json:"slowlog_dropped"`
 }
 
 // healthBlock is the /v1/stats "health" block: the degraded-mode state
@@ -378,6 +404,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	resp := statsResponse{
+		Version:       gsim.Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
 		Database: dbStats{
 			Name:      s.db.Name(),
 			Graphs:    st.Graphs,
@@ -423,13 +451,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			Invalidations: cs.Invalidations,
 		},
 		Server: serverCounts{
-			Requests:    s.requests.Load(),
-			InFlight:    s.metrics.inFlight.Load(),
-			SlowQueries: s.metrics.slowQueries.Load(),
-			UptimeMS:    time.Since(s.start).Milliseconds(),
-			Panics:      s.metrics.panics.Load(),
-			MaxInFlight: s.cfg.MaxInFlight,
-			Draining:    s.draining.Load(),
+			Requests:       s.requests.Load(),
+			InFlight:       s.metrics.inFlight.Load(),
+			SlowQueries:    s.metrics.slowQueries.Load(),
+			UptimeMS:       time.Since(s.start).Milliseconds(),
+			Panics:         s.metrics.panics.Load(),
+			MaxInFlight:    s.cfg.MaxInFlight,
+			Draining:       s.draining.Load(),
+			SlowlogDropped: s.metrics.slowlogDropped.Load(),
 		},
 		Health: healthInfoBlock(s.db.Health()),
 	}

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -13,6 +12,7 @@ import (
 
 	"gsim"
 	"gsim/internal/dataset"
+	"gsim/internal/load"
 )
 
 // fixture builds a served database over the deterministic cluster corpus
@@ -201,27 +201,19 @@ func TestStreamEndpoint(t *testing.T) {
 	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Fatalf("Content-Type %q", ct)
 	}
-	gotIdx := map[int]bool{}
-	var trailer streamTrailer
-	sawTrailer := false
-	sc := bufio.NewScanner(rec.Body)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if bytes.Contains(line, []byte(`"done"`)) {
-			if err := json.Unmarshal(line, &trailer); err != nil {
-				t.Fatal(err)
-			}
-			sawTrailer = true
-			continue
-		}
-		var m wireMatch
-		if err := json.Unmarshal(line, &m); err != nil {
-			t.Fatalf("bad NDJSON line %q: %v", line, err)
-		}
-		gotIdx[m.Index] = true
+	// The shared NDJSON consumer (internal/load) parses exactly what the
+	// handler writes — the same parser gsimload runs against a live server.
+	res, err := load.ParseStream(rec.Body)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !sawTrailer || !trailer.Done {
-		t.Fatalf("missing/false done trailer: %+v", trailer)
+	trailer := res.Trailer
+	if err := trailer.Err(); err != nil {
+		t.Fatalf("trailer: %v (%+v)", err, trailer)
+	}
+	gotIdx := map[int]bool{}
+	for _, m := range res.Matches {
+		gotIdx[m.Index] = true
 	}
 	if trailer.Matches != len(want.Matches) || len(gotIdx) != len(want.Matches) {
 		t.Fatalf("streamed %d matches (trailer %d), want %d", len(gotIdx), trailer.Matches, len(want.Matches))

@@ -1,0 +1,47 @@
+package telemetry
+
+import "fmt"
+
+// SparseSnapshot is the portable, JSON-friendly form of a Snapshot: only
+// the occupied buckets, each as a [bucket index, observations] pair in
+// ascending index order. A latency histogram over real traffic touches a
+// few dozen of the 1920 buckets, so the sparse form is what reports and
+// baselines store on disk — an importing reader reconstructs the full
+// Snapshot and extracts quantiles at any rank, not just the ones the
+// report's scalar fields happened to carry.
+type SparseSnapshot struct {
+	Count   uint64      `json:"count"`
+	SumNS   uint64      `json:"sum_ns"`
+	Buckets [][2]uint64 `json:"buckets,omitempty"`
+}
+
+// Export renders the snapshot in sparse form.
+func (s *Snapshot) Export() SparseSnapshot {
+	e := SparseSnapshot{Count: s.Count, SumNS: s.SumNS}
+	for i, n := range s.Buckets {
+		if n != 0 {
+			e.Buckets = append(e.Buckets, [2]uint64{uint64(i), n})
+		}
+	}
+	return e
+}
+
+// Import reconstructs the dense Snapshot. Bucket indexes must be in
+// range and strictly ascending — the form Export writes — so a corrupted
+// or hand-mangled report fails loudly instead of silently mis-binning.
+func (e *SparseSnapshot) Import() (*Snapshot, error) {
+	s := &Snapshot{Count: e.Count, SumNS: e.SumNS}
+	last := -1
+	for _, b := range e.Buckets {
+		if b[0] >= uint64(NumBuckets) {
+			return nil, fmt.Errorf("telemetry: bucket index %d out of range [0,%d)", b[0], NumBuckets)
+		}
+		idx := int(b[0])
+		if idx <= last {
+			return nil, fmt.Errorf("telemetry: bucket index %d not ascending (previous %d)", idx, last)
+		}
+		last = idx
+		s.Buckets[idx] = b[1]
+	}
+	return s, nil
+}

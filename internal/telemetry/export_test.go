@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestExportImportRoundTrip: Export → JSON → Import reproduces the exact
+// bucket array, so quantiles extracted from an imported report equal the
+// original recorder's.
+func TestExportImportRoundTrip(t *testing.T) {
+	var h Histogram
+	values := []int64{0, 1, 63, 64, 100, 1000, 1_000_000, 3_000_000_000, 1, 100, 100}
+	for _, v := range values {
+		h.RecordNS(v)
+	}
+	var s Snapshot
+	h.Load(&s)
+
+	raw, err := json.Marshal(s.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e SparseSnapshot
+	if err := json.Unmarshal(raw, &e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Import()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != s {
+		t.Fatalf("round trip changed the snapshot:\n got %+v\nwant %+v", got.Export(), s.Export())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got.Quantile(q) != s.Quantile(q) {
+			t.Fatalf("q=%v: imported %d != original %d", q, got.Quantile(q), s.Quantile(q))
+		}
+	}
+}
+
+// TestExportSparse: only occupied buckets are written.
+func TestExportSparse(t *testing.T) {
+	var h Histogram
+	h.RecordNS(5)
+	h.RecordNS(5)
+	h.RecordNS(70)
+	var s Snapshot
+	h.Load(&s)
+	e := s.Export()
+	if len(e.Buckets) != 2 {
+		t.Fatalf("sparse buckets %v, want 2 entries", e.Buckets)
+	}
+	if e.Buckets[0] != [2]uint64{5, 2} {
+		t.Fatalf("bucket 0 = %v, want [5 2]", e.Buckets[0])
+	}
+}
+
+// TestImportRejectsMalformed: out-of-range and non-ascending indexes are
+// structural corruption, not data.
+func TestImportRejectsMalformed(t *testing.T) {
+	bad := []SparseSnapshot{
+		{Buckets: [][2]uint64{{uint64(NumBuckets), 1}}},
+		{Buckets: [][2]uint64{{9, 1}, {9, 2}}},
+		{Buckets: [][2]uint64{{10, 1}, {4, 2}}},
+	}
+	for i := range bad {
+		if _, err := bad[i].Import(); err == nil {
+			t.Errorf("case %d: malformed snapshot imported", i)
+		}
+	}
+}
+
+// TestImportedMerge: imported snapshots merge like native ones — the
+// property the report path relies on when folding per-agent exports.
+func TestImportedMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 500; i++ {
+		a.RecordNS(i * 3)
+		b.RecordNS(i * 7)
+	}
+	var sa, sb, oracle Snapshot
+	a.Load(&sa)
+	b.Load(&sb)
+	oracle = sa
+	oracle.Merge(&sb)
+
+	ea, eb := sa.Export(), sb.Export()
+	ia, err := ea.Import()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := eb.Import()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia.Merge(ib)
+	if *ia != oracle {
+		t.Fatal("imported merge diverged from native merge")
+	}
+}

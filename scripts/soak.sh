@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# soak.sh — boot a gsimd on an in-memory corpus, drive it with gsimload,
+# and gate the client-observed report against the checked-in baseline.
+#
+# Usage: scripts/soak.sh [duration] [baseline] [report-out]
+#
+# The workload spec (agents, mix, corpus, method) must match the
+# baseline's — Compare flags a mismatch — so change them here and in the
+# baseline together (see README "Load testing & soak gates").
+#
+# Exit codes: 0 gates passed, 3 a gate fired, anything else = harness
+# failure (server refused to boot, run errored, ...).
+set -euo pipefail
+
+DURATION="${1:-60s}"
+BASELINE="${2:-BENCH_soak.json}"
+REPORT="${3:-soak_report.json}"
+ADDR="127.0.0.1:8970"
+
+# Latency on shared CI runners swings wildly between machine
+# generations, so the gates are deliberately loose: they catch
+# order-of-magnitude regressions and error-rate/shed cliffs, not 10%
+# drift. Tightening them needs a dedicated runner.
+GATES="${GATES:-p99=400%,errors=2%,shed=2%,throughput=75%}"
+SLACK="${SLACK:-250ms}"
+
+go build -o /tmp/gsimd ./cmd/gsimd
+go build -o /tmp/gsimload ./cmd/gsimload
+
+/tmp/gsimd -addr "$ADDR" -method lsap -cache 1024 -slowlog 250ms \
+  >/tmp/gsimd_soak.log 2>&1 &
+GSIMD_PID=$!
+trap 'kill "$GSIMD_PID" 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$GSIMD_PID" 2>/dev/null; then
+    echo "gsimd exited during startup:" >&2
+    cat /tmp/gsimd_soak.log >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# Prove the gate can fail before trusting that it passes: a negative
+# gate with zero slack against any self-comparison must exit 3.
+echo "== gate self-test (must fail) =="
+set +e
+/tmp/gsimload -replay "$BASELINE" -compare "$BASELINE" \
+  -gate "p99=-50%" -slack 0 -out /dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+  echo "gate self-test: expected exit 3, got $rc — the gate is broken" >&2
+  exit 1
+fi
+echo "gate self-test ok (exit 3)"
+
+echo "== soak ($DURATION) =="
+set +e
+/tmp/gsimload -url "http://$ADDR" -seed-corpus -corpus 500 -agents 8 \
+  -duration "$DURATION" -warmup 5s -method lsap -tau 3 \
+  -compare "$BASELINE" -gate "$GATES" -slack "$SLACK" -out "$REPORT"
+rc=$?
+set -e
+
+echo "== gsimd slowlog tail =="
+tail -20 /tmp/gsimd_soak.log || true
+exit "$rc"
